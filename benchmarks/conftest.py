@@ -1,0 +1,30 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Every module here regenerates one table or figure of the paper under
+``pytest-benchmark`` timing, asserts the shape against the published
+values, and prints the regenerated rows (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+
+
+def pytest_configure(config):
+    # benchmarks live outside the default testpaths; make sure bare
+    # `pytest benchmarks/` behaves
+    config.addinivalue_line("markers", "table: paper-table regeneration")
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The paper's protocol: 100 executions per binary."""
+    return Study(StudyConfig(runs=100))
+
+
+@pytest.fixture(scope="session")
+def quick_study():
+    """Reduced-run study for the heavier exact-mode benches."""
+    return Study(StudyConfig(runs=10, seed=3))

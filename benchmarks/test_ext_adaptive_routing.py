@@ -1,0 +1,79 @@
+"""Extension: adaptive vs minimal dragonfly routing under contention.
+
+The paper cites "There goes the Neighborhood" [20] as the reason
+inter-node numbers are hard to report: nearby jobs steal bandwidth.
+This bench quantifies it on the simulated Slingshot dragonfly and
+shows the adaptive-routing (Valiant) escape hatch.
+"""
+
+import pytest
+
+from repro.machines.registry import get_machine
+from repro.mpisim.transport import BufferKind
+from repro.netsim.cluster import Cluster, ClusterRankLocation
+from repro.units import to_gb_per_s
+
+
+def make_stream(n, msgs):
+    def stream(peer):
+        def fn(ctx):
+            t0 = ctx.env.now
+            for _ in range(msgs):
+                yield from ctx.send(peer, n, BufferKind.HOST)
+            yield from ctx.recv(peer)
+            return msgs * n / (ctx.env.now - t0)
+        return fn
+
+    def sink(peer):
+        def fn(ctx):
+            for _ in range(msgs):
+                yield from ctx.recv(peer)
+            yield from ctx.send(peer, 0, BufferKind.HOST)
+        return fn
+
+    return stream, sink
+
+
+@pytest.mark.table
+def test_ext_adaptive_vs_minimal_routing(benchmark):
+    frontier = get_machine("frontier")
+    n, msgs = 16 << 20, 8
+
+    def run_both():
+        out = {}
+        for adaptive in (False, True):
+            cluster = Cluster(frontier, 64, adaptive=adaptive)
+            stream, sink = make_stream(n, msgs)
+            # alone
+            world = cluster.world([
+                ClusterRankLocation(core=0, node=0),
+                ClusterRankLocation(core=0, node=60),
+            ])
+            alone = world.run([stream(1), sink(0)])[0]
+            cluster.reset_network()
+            # two streams over the same minimal links
+            placement = [
+                ClusterRankLocation(core=0, node=0),
+                ClusterRankLocation(core=0, node=60),
+                ClusterRankLocation(core=1, node=1),
+                ClusterRankLocation(core=1, node=61),
+            ]
+            world = cluster.world(placement)
+            rates = world.run([stream(1), sink(0), stream(3), sink(2)])
+            out[adaptive] = (alone, min(rates[0], rates[2]))
+        return out
+
+    results = benchmark(run_both)
+    for adaptive, (alone, contended) in sorted(results.items()):
+        label = "adaptive" if adaptive else "minimal "
+        print(f"\n{label}: alone {to_gb_per_s(alone):6.2f} GB/s, "
+              f"contended {to_gb_per_s(contended):6.2f} GB/s")
+
+    min_alone, min_contended = results[False]
+    ad_alone, ad_contended = results[True]
+    # the neighbourhood effect under minimal routing...
+    assert min_contended < 0.7 * min_alone
+    # ...and its relief under adaptive routing
+    assert ad_contended > 0.9 * ad_alone
+    # uncontended performance is not sacrificed
+    assert ad_alone == pytest.approx(min_alone, rel=0.05)

@@ -1,0 +1,103 @@
+"""Extension: collective communication (paper future work, §5).
+
+Allreduce/bcast/allgather scaling across nodes of a cluster — the
+"collective communication" item on the paper's inter-node agenda.
+"""
+
+import operator
+
+import pytest
+
+from repro.machines.registry import get_machine
+from repro.mpisim.collectives import allgather, allreduce, bcast
+from repro.mpisim.transport import BufferKind
+from repro.netsim.cluster import Cluster
+from repro.units import to_us, us
+
+
+def run_allreduce(cluster, n_nodes, nbytes=8):
+    placement = cluster.placement(ranks_per_node=1, nodes=list(range(n_nodes)))
+    world = cluster.world(placement)
+
+    def make(rank):
+        def fn(ctx):
+            out = yield from allreduce(ctx, rank + 1, nbytes, operator.add)
+            return (out, ctx.env.now)
+        return fn
+
+    results = world.run([make(r) for r in range(n_nodes)])
+    values = [v for v, _t in results]
+    finish = max(t for _v, t in results)
+    expected = n_nodes * (n_nodes + 1) // 2
+    assert values == [expected] * n_nodes
+    return finish
+
+
+@pytest.mark.table
+def test_ext_allreduce_scaling(benchmark):
+    frontier = get_machine("frontier")
+    cluster = Cluster(frontier, 32)
+
+    def sweep():
+        out = {}
+        for n in (2, 4, 8, 16, 32):
+            cluster.reset_network()
+            out[n] = run_allreduce(cluster, n)
+        return out
+
+    times = benchmark(sweep)
+    print("\nallreduce (8 B) across Frontier nodes:")
+    for n, t in sorted(times.items()):
+        print(f"  {n:3d} nodes: {to_us(t):8.2f} us")
+
+    # recursive doubling: cost ~ log2(N); doubling nodes adds one round
+    assert times[4] > times[2]
+    assert times[32] > times[16]
+    # far sub-linear: 16x more nodes costs < 6x the time
+    assert times[32] < 6 * times[2]
+    # a single inter-node round trip bounds the 2-node figure below
+    assert times[2] > us(1.5)
+
+
+@pytest.mark.table
+def test_ext_bcast_and_allgather(benchmark):
+    summit = get_machine("summit")
+    cluster = Cluster(summit, 16)
+
+    def both():
+        cluster.reset_network()
+        placement = cluster.placement(ranks_per_node=1)
+        world = cluster.world(placement)
+
+        def bcast_fn(rank):
+            def fn(ctx):
+                value = "payload" if rank == 0 else None
+                out = yield from bcast(ctx, value, 4096)
+                return (out, ctx.env.now)
+            return fn
+
+        bres = world.run([bcast_fn(r) for r in range(16)])
+        cluster.reset_network()
+        world = cluster.world(cluster.placement(ranks_per_node=1))
+
+        def gather_fn(rank):
+            def fn(ctx):
+                out = yield from allgather(ctx, rank, 4096)
+                return (out, ctx.env.now)
+            return fn
+
+        gres = world.run([gather_fn(r) for r in range(16)])
+        return bres, gres
+
+    bres, gres = benchmark(both)
+
+    # correctness on every rank
+    assert all(v == "payload" for v, _t in bres)
+    assert all(v == list(range(16)) for v, _t in gres)
+
+    bcast_time = max(t for _v, t in bres)
+    gather_time = max(t for _v, t in gres)
+    print(f"\nbcast 16 nodes: {to_us(bcast_time):.2f} us; "
+          f"allgather: {to_us(gather_time):.2f} us")
+    # binomial tree (log N rounds) beats the ring (N-1 steps)
+    assert bcast_time < gather_time

@@ -1,0 +1,95 @@
+"""Extension: inter-node measurements (the paper's future work, §5).
+
+Not a paper artifact — the paper stops at the node boundary and names
+inter-node benchmarking as its first planned extension.  This bench
+produces the table that extension would start from: inter-node MPI
+latency and achievable bandwidth for every machine over its actual
+fabric, plus device-buffer latency (GPU-network integration).
+"""
+
+import pytest
+
+from repro.machines.registry import all_machines
+from repro.mpisim.transport import BufferKind
+from repro.netsim.cluster import Cluster, ClusterRankLocation
+from repro.units import to_gb_per_s, to_us, us
+
+
+def pingpong(nbytes, buffer, iters=4):
+    def rank0(ctx):
+        t0 = ctx.env.now
+        for _ in range(iters):
+            yield from ctx.send(1, nbytes, buffer)
+            yield from ctx.recv(1)
+        return (ctx.env.now - t0) / (2 * iters)
+
+    def rank1(ctx):
+        for _ in range(iters):
+            yield from ctx.recv(0)
+            yield from ctx.send(0, nbytes, buffer)
+
+    return [rank0, rank1]
+
+
+def measure_all_machines():
+    rows = []
+    for machine in all_machines():
+        cluster = Cluster(machine, 8)
+        pair = [
+            ClusterRankLocation(core=0, node=0),
+            ClusterRankLocation(core=0, node=4),
+        ]
+        lat = cluster.world(pair).run(pingpong(0, BufferKind.HOST))[0]
+        cluster.reset_network()
+        n = 16 << 20
+        t = cluster.world(pair).run(pingpong(n, BufferKind.HOST))[0]
+        bw = n / t
+        dev_lat = None
+        if machine.node.has_gpus:
+            cluster.reset_network()
+            dev_pair = [
+                ClusterRankLocation(core=0, device=0, node=0),
+                ClusterRankLocation(core=0, device=0, node=4),
+            ]
+            dev_lat = cluster.world(dev_pair).run(
+                pingpong(0, BufferKind.DEVICE)
+            )[0]
+        rows.append((machine, cluster.fabric, lat, bw, dev_lat))
+    return rows
+
+
+@pytest.mark.table
+def test_ext_internode_table(benchmark):
+    rows = benchmark(measure_all_machines)
+
+    print(f"\n{'machine':12s} {'fabric':16s} {'lat (us)':>9s} "
+          f"{'bw (GB/s)':>10s} {'dev lat (us)':>13s}")
+    for machine, fabric, lat, bw, dev_lat in rows:
+        dev = f"{to_us(dev_lat):13.2f}" if dev_lat is not None else " " * 13
+        print(f"{machine.name:12s} {fabric.name:16s} {to_us(lat):9.2f} "
+              f"{to_gb_per_s(bw):10.2f} {dev}")
+
+    by_name = {m.name: (f, lat, bw, dev) for m, f, lat, bw, dev in rows}
+
+    # inter-node latency is microseconds everywhere: above every
+    # intra-node host latency, below 5 us — except Theta, whose
+    # anomalous MPI software overhead (paper section 4) inflates the
+    # inter-node figure just as it does the intra-node one
+    for name, (_f, lat, _bw, _d) in by_name.items():
+        ceiling = us(10.0) if name == "Theta" else us(5.0)
+        assert us(0.8) < lat < ceiling, name
+
+    # Slingshot-11 machines reach ~2x the bandwidth of the 100 Gb fabrics
+    ss11_bw = min(by_name[n][2] for n in ("Frontier", "Perlmutter"))
+    edr_bw = max(by_name[n][2] for n in ("Summit", "Eagle"))
+    assert ss11_bw > 1.5 * edr_bw
+
+    # GPU-network integration: the MI250X machines' device latency stays
+    # within a microsecond of host latency even across nodes, while the
+    # CUDA machines pay their pipeline overhead everywhere
+    for name in ("Frontier", "RZVernal", "Tioga"):
+        _f, lat, _bw, dev = by_name[name]
+        assert dev - lat < us(1.0)
+    for name in ("Summit", "Perlmutter", "Polaris"):
+        _f, lat, _bw, dev = by_name[name]
+        assert dev - lat > us(8.0)

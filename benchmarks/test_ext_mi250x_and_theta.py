@@ -1,0 +1,86 @@
+"""Extensions for two remarks in the paper's section 4.
+
+1. MI250X dual-GCD bandwidth: "the overall bandwidth of the GPU would
+   be roughly double what is reported if another GPU stream were
+   copying data at the same time" — run BabelStream concurrently on
+   both GCDs of a package and check the aggregate.
+2. The Theta footnote: the ALCF MPI benchmarks (preposted receives)
+   measure sub-5 us where OSU reports 5.95 us.
+"""
+
+import pytest
+
+from repro.benchmarks.alcf import alcf_latency
+from repro.benchmarks.babelstream.gpu import run_gpu_stream
+from repro.benchmarks.osu.runner import PairKind, latency_for_pair
+from repro.gpurt.api import DeviceRuntime
+from repro.gpurt.kernel import stream_kernel
+from repro.machines.registry import cpu_machines, get_machine
+from repro.memsys.writealloc import TRIAD
+from repro.mpisim.placement import on_socket_pair
+from repro.units import to_gb_per_s, to_us
+
+ONE_GIB = 1 << 30
+
+
+@pytest.mark.table
+def test_ext_dual_gcd_bandwidth(benchmark):
+    frontier = get_machine("frontier")
+
+    def measure():
+        # single-GCD Triad, as BabelStream reports it
+        single = run_gpu_stream(frontier, ONE_GIB).reported["Triad"]
+
+        # both GCDs of package 0 streaming simultaneously
+        rt = DeviceRuntime(frontier)
+        spec = stream_kernel(TRIAD, ONE_GIB)
+        done = {}
+
+        def host():
+            t0 = rt.env.now
+            c0 = yield from rt.launch_kernel(spec, device=0)
+            c1 = yield from rt.launch_kernel(spec, device=1)
+            yield c0.completion
+            yield c1.completion
+            done["elapsed"] = rt.env.now - t0
+
+        rt.run(host())
+        counted = 2 * TRIAD.counted_bytes(ONE_GIB)
+        aggregate = counted / done["elapsed"]
+        return single, aggregate
+
+    single, aggregate = benchmark(measure)
+    print(f"\nsingle GCD: {to_gb_per_s(single):.1f} GB/s; "
+          f"both GCDs: {to_gb_per_s(aggregate):.1f} GB/s "
+          f"({aggregate / single:.2f}x)")
+    # "roughly double": each GCD has its own HBM stacks
+    assert 1.85 < aggregate / single < 2.05
+    # and the aggregate approaches the advertised package figure
+    assert to_gb_per_s(aggregate) > 2500
+
+
+@pytest.mark.table
+def test_ext_theta_alcf_footnote(benchmark):
+    def measure():
+        out = {}
+        for machine in cpu_machines():
+            osu = latency_for_pair(machine, PairKind.ON_SOCKET).latency
+            alcf = alcf_latency(machine, on_socket_pair(machine)).latency
+            out[machine.name] = (osu, alcf)
+        return out
+
+    results = benchmark(measure)
+    print(f"\n{'machine':10s} {'OSU (us)':>9s} {'ALCF (us)':>10s}")
+    for name, (osu, alcf) in results.items():
+        print(f"{name:10s} {to_us(osu):9.2f} {to_us(alcf):10.2f}")
+
+    theta_osu, theta_alcf = results["Theta"]
+    # the footnote: sub-5 us, below OSU, nowhere near Trinity
+    assert to_us(theta_alcf) < 5.0 < to_us(theta_osu) * 1.25
+    assert theta_alcf < theta_osu
+    trinity_osu, _ = results["Trinity"]
+    assert theta_alcf > 5 * trinity_osu
+    # healthy stacks: the two suites agree
+    for name, (osu, alcf) in results.items():
+        if name != "Theta":
+            assert alcf == pytest.approx(osu, rel=1e-6)

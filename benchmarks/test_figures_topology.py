@@ -1,0 +1,53 @@
+"""Figures 1-3: node topology diagrams.
+
+Benchmarks rendering all three figures (ASCII + DOT) and asserts the
+structural content the paper's diagrams convey.
+"""
+
+import pytest
+
+from repro.core.figures import figure_for, render_node_ascii, render_node_dot
+
+
+def render_all_figures():
+    out = {}
+    for number in (1, 2, 3):
+        machine = figure_for(number)
+        out[number] = (
+            machine.name,
+            render_node_ascii(machine),
+            render_node_dot(machine),
+        )
+    return out
+
+
+@pytest.mark.table
+def test_figures_regeneration(benchmark):
+    figures = benchmark(render_all_figures)
+    for number, (_name, ascii_art, _dot) in sorted(figures.items()):
+        print(f"\n--- Figure {number} ---\n{ascii_art}")
+
+    # Figure 1: Frontier — 8 GCDs, quad/dual/single IF, classes A-D
+    name, art, dot = figures[1]
+    assert name == "Frontier"
+    assert "8 x MI250X (GCD)" in art
+    for marker in ("4x IF", "2x IF", "IF(C-G)"):
+        assert marker in art
+    for cls in "ABCD":
+        assert f"\n    {cls}: " in art
+    assert dot.count("gpu") >= 8
+
+    # Figure 2: Summit — 2 sockets, 6 V100s, X-Bus, NVLink trees
+    name, art, _dot = figures[2]
+    assert name == "Summit"
+    assert "6 x Tesla V100" in art
+    assert "X-Bus" in art and "2x NVLink2" in art
+    assert "\n    A: " in art and "\n    B: " in art
+
+    # Figure 3: Perlmutter — 4 A100s all-to-all NVLink3, PCIe4 to host
+    name, art, _dot = figures[3]
+    assert name == "Perlmutter"
+    assert "4 x A100" in art
+    assert "4x NVLink3" in art and "PCIe4" in art
+    # single class: every pair class A
+    assert "\n    A: " in art and "\n    B: " not in art

@@ -1,0 +1,48 @@
+"""Table 1: the OpenMP environment sweep.
+
+Regenerates the eight-configuration matrix and benchmarks the full
+sweep (team construction + bandwidth model for every row) on every CPU
+machine.
+"""
+
+import pytest
+
+from repro.machines.registry import cpu_machines
+from repro.memsys.scaling import team_bandwidth
+from repro.openmp.env import table1_configurations
+from repro.openmp.team import build_team
+
+
+def sweep_all_machines():
+    out = {}
+    for machine in cpu_machines():
+        rows = []
+        for env in table1_configurations(machine.node):
+            team = build_team(machine.node, env)
+            bw = team_bandwidth(machine.node, machine.calibration.cpu_stream, team)
+            rows.append((env.describe(), bw))
+        out[machine.name] = rows
+    return out
+
+
+@pytest.mark.table
+def test_table1_sweep(benchmark):
+    results = benchmark(sweep_all_machines)
+
+    # Table 1 has exactly eight rows per machine
+    for machine, rows in results.items():
+        assert len(rows) == 8
+
+    # shape: the three single-thread rows are far below the all-core rows
+    for machine, rows in results.items():
+        singles = [bw for (n, _b, _p), bw in rows if n == "1"]
+        multis = [bw for (n, _b, _p), bw in rows if n != "1"]
+        assert max(singles) < min(multis), machine
+
+    # the matrix matches the paper's Table 1 structure: unset / "true" /
+    # "spread"+cores / "close"+threads combinations all present
+    described = {d for rows in results.values() for d, _ in rows}
+    assert ("1", "not set", "not set") in described
+    assert ("1", '"true"', "not set") in described
+    assert any(b == '"spread"' and p == '"cores"' for _n, b, p in described)
+    assert any(b == '"close"' and p == '"threads"' for _n, b, p in described)

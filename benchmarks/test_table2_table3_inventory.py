@@ -1,0 +1,43 @@
+"""Tables 2 and 3: the machine inventory.
+
+Benchmarks cold construction of all 13 node models (topology graphs
+included) and asserts the inventory matches the paper's rows.
+"""
+
+import pytest
+
+from repro.machines import doe_cpu, doe_gpu
+
+
+def build_all_machines_cold():
+    """Bypass the registry cache: build every node model from scratch."""
+    builders = [
+        doe_cpu.build_trinity, doe_cpu.build_theta, doe_cpu.build_sawtooth,
+        doe_cpu.build_eagle, doe_cpu.build_manzano,
+        doe_gpu.build_frontier, doe_gpu.build_summit, doe_gpu.build_sierra,
+        doe_gpu.build_perlmutter, doe_gpu.build_polaris, doe_gpu.build_lassen,
+        doe_gpu.build_rzvernal, doe_gpu.build_tioga,
+    ]
+    return [b() for b in builders]
+
+
+@pytest.mark.table
+def test_table2_table3_inventory(benchmark):
+    machines = benchmark(build_all_machines_cold)
+    assert len(machines) == 13
+
+    by_name = {m.name: m for m in machines}
+    # Table 2
+    assert by_name["Trinity"].rank == 29 and by_name["Trinity"].location == "LANL"
+    assert by_name["Theta"].cpu_model == "Xeon Phi 7230"
+    assert by_name["Sawtooth"].location == "INL"
+    assert by_name["Eagle"].cpu_model == "Xeon Gold 6154"
+    assert by_name["Manzano"].rank == 141
+    # Table 3
+    assert by_name["Frontier"].rank == 1
+    assert by_name["Summit"].node.n_gpus == 6
+    assert by_name["Sierra"].node.n_gpus == 4
+    assert by_name["Perlmutter"].accelerator_family == "A100"
+    assert by_name["RZVernal"].accelerator_family == "MI250X"
+    for m in machines:
+        m.node.validate()

@@ -1,0 +1,35 @@
+"""Table 4: non-accelerator systems (BabelStream + OSU latency).
+
+Regenerates the full table — the Table 1 OpenMP sweep, the best-of-op
+selection, and both MPI pairings, 100 simulated binary executions each —
+and checks every cell against the published values.
+"""
+
+import pytest
+
+from repro.core.tables import build_table4, render_table4
+from repro.harness.compare import compare_table4
+from repro.harness.paper_values import PAPER_TABLE4
+
+
+@pytest.mark.table
+def test_table4_regeneration(benchmark, study):
+    rows = benchmark(build_table4, study)
+    print("\n" + render_table4(rows))
+
+    assert [r.machine for r in rows] == list(PAPER_TABLE4)
+
+    # every cell within 5% of the paper
+    for row in compare_table4(rows):
+        assert row.rel_error < 0.05, (row.machine, row.metric, row.rel_error)
+
+    by = {r.machine: r for r in rows}
+    # shape: KNL systems dwarf the Xeons in all-core bandwidth ordering
+    assert by["Trinity"].all_threads.mean > by["Sawtooth"].all_threads.mean
+    assert by["Theta"].all_threads.mean < by["Eagle"].all_threads.mean
+    # shape: on-node latency >= on-socket latency everywhere
+    for row in rows:
+        assert row.on_node.mean >= row.on_socket.mean * 0.999
+    # spread is reported (std > 0) like the paper's +- columns
+    for row in rows:
+        assert row.single.std > 0 and row.all_threads.std > 0

@@ -1,0 +1,34 @@
+"""Table 5: accelerator systems (device BabelStream + OSU latencies)."""
+
+import pytest
+
+from repro.core.tables import build_table5, render_table5
+from repro.harness.compare import compare_table5
+from repro.harness.paper_values import PAPER_TABLE5
+from repro.hardware.topology import LinkClass
+
+
+@pytest.mark.table
+def test_table5_regeneration(benchmark, study):
+    rows = benchmark(build_table5, study)
+    print("\n" + render_table5(rows))
+
+    assert [r.machine for r in rows] == list(PAPER_TABLE5)
+
+    for row in compare_table5(rows):
+        assert row.rel_error < 0.05, (row.machine, row.metric, row.rel_error)
+
+    by = {r.machine: r for r in rows}
+    # class columns match the paper's per-family structure
+    assert set(by["Frontier"].device_to_device) == set(LinkClass)
+    assert set(by["Summit"].device_to_device) == {LinkClass.A, LinkClass.B}
+    assert set(by["Polaris"].device_to_device) == {LinkClass.A}
+
+    # headline crossover: MI250X device MPI latency ~ host latency,
+    # while every CUDA machine's device latency is >> host latency
+    for name in ("Frontier", "RZVernal", "Tioga"):
+        r = by[name]
+        assert r.device_to_device[LinkClass.A].mean < 1.2 * r.host_to_host.mean
+    for name in ("Summit", "Sierra", "Perlmutter", "Polaris", "Lassen"):
+        r = by[name]
+        assert r.device_to_device[LinkClass.A].mean > 20 * r.host_to_host.mean

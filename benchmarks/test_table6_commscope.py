@@ -1,0 +1,39 @@
+"""Table 6: Comm|Scope kernel launch / wait / memcpy on all GPU systems."""
+
+import pytest
+
+from repro.core.tables import build_table6, render_table6
+from repro.harness.compare import compare_table6
+from repro.harness.paper_values import PAPER_TABLE6
+from repro.hardware.topology import LinkClass
+
+
+@pytest.mark.table
+def test_table6_regeneration(benchmark, study):
+    rows = benchmark(build_table6, study)
+    print("\n" + render_table6(rows))
+
+    assert [r.machine for r in rows] == list(PAPER_TABLE6)
+
+    for row in compare_table6(rows):
+        assert row.rel_error < 0.05, (row.machine, row.metric, row.rel_error)
+
+    by = {r.machine: r for r in rows}
+    # launch-latency hierarchy: V100 machines ~3x the others
+    v100_min = min(by[n].launch.mean for n in ("Summit", "Sierra", "Lassen"))
+    rest_max = max(
+        by[n].launch.mean
+        for n in ("Frontier", "Perlmutter", "Polaris", "RZVernal", "Tioga")
+    )
+    assert v100_min > 1.8 * rest_max
+
+    # queue-wait hierarchy: V100 >> A100 >> MI250X
+    assert by["Sierra"].wait.mean > 4 * by["Perlmutter"].wait.mean
+    assert by["Perlmutter"].wait.mean > 5 * by["Frontier"].wait.mean
+
+    # the Perlmutter/Polaris driver-generation gap
+    assert by["Polaris"].d2d_latency[LinkClass.A].mean > \
+        2 * by["Perlmutter"].d2d_latency[LinkClass.A].mean
+
+    # V100 H2D bandwidth (NVLink) beats PCIe-class machines
+    assert by["Sierra"].hd_bandwidth.mean > 2 * by["Perlmutter"].hd_bandwidth.mean

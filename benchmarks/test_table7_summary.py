@@ -1,0 +1,38 @@
+"""Table 7: per-accelerator-family min-max ranges."""
+
+import pytest
+
+from repro.core.summary import build_table7, render_table7
+from repro.core.tables import build_table5, build_table6
+from repro.harness.paper_values import PAPER_TABLE7
+from repro.hardware.gpu import GpuFamily
+
+
+@pytest.mark.table
+def test_table7_regeneration(benchmark, study):
+    t5 = build_table5(study)
+    t6 = build_table6(study)
+    rows = benchmark(build_table7, t5, t6)
+    print("\n" + render_table7(rows))
+
+    assert [r.family for r in rows] == [
+        GpuFamily.V100, GpuFamily.A100, GpuFamily.MI250X,
+    ]
+
+    # every range must straddle the published range (5% slack per bound)
+    for row in rows:
+        ref = PAPER_TABLE7[row.family.value]
+        for field in ("memory_bw", "mpi_latency", "kernel_launch",
+                      "kernel_wait", "hd_latency", "hd_bandwidth",
+                      "d2d_latency"):
+            lo, hi = ref[field]
+            measured = getattr(row, field)
+            assert measured.low >= lo * 0.95, (row.family, field)
+            assert measured.high <= hi * 1.05, (row.family, field)
+
+    v100, a100, mi250x = rows
+    # the family-level story of the paper's summary table
+    assert v100.memory_bw.high < a100.memory_bw.low
+    assert mi250x.mpi_latency.high < 0.1 * a100.mpi_latency.low
+    assert mi250x.kernel_wait.high < a100.kernel_wait.low < v100.kernel_wait.low
+    assert a100.hd_latency.high < v100.hd_latency.low < mi250x.hd_latency.low

@@ -1,0 +1,27 @@
+"""Tables 8 and 9: software environments (rendered via the CLI paths)."""
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.harness.cli import run_target
+
+
+@pytest.mark.table
+def test_table8_table9_regeneration(benchmark):
+    study = Study(StudyConfig(runs=1))
+
+    def render_both():
+        return run_target("table8", study), run_target("table9", study)
+
+    t8, t9 = benchmark(render_both)
+    print("\n" + t8 + "\n\n" + t9)
+
+    # Table 8 rows
+    for fragment in ("intel/2022.0.2", "cray-mpich/7.7.20",
+                     "intel-mpi/2019.0.117", "openmpi/4.1.0", "openmpi/1.10"):
+        assert fragment in t8
+    # Table 9 rows
+    for fragment in ("amd-mixed/5.3.0", "cuda/11.0.3", "cuda/10.1.243",
+                     "cuda/11.7", "cuda/11.4", "spectrum-mpi/rolling-release",
+                     "cray-mpich/8.1.26"):
+        assert fragment in t9

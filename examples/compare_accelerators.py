@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Accelerator shopping guide for a performance-portable application.
+
+The paper's motivating user is a developer of portable codes who wants
+"What is the realizable memory bandwidth?" and "What is the launch
+latency on the accelerator?" answered across machines.  This example
+plays that role: given an application profile (how kernel-launch-bound,
+how bandwidth-bound, how communication-bound it is), it scores every
+accelerator system in the study and prints a ranked recommendation.
+
+Usage::
+
+    python examples/compare_accelerators.py [--launches N] [--gb-moved G]
+        [--messages M]
+"""
+
+import argparse
+from dataclasses import dataclass
+
+from repro import Study, StudyConfig, gpu_machines
+from repro.benchmarks.osu.runner import PairKind
+from repro.hardware.topology import LinkClass
+
+
+@dataclass
+class AppProfile:
+    """Per-timestep costs of a hypothetical application, per GPU."""
+
+    kernel_launches: int      # kernels launched per step
+    gb_moved: float           # GB of device-memory traffic per step
+    messages: int             # device-to-device MPI messages per step
+    syncs: int                # device synchronizations per step
+
+
+def time_per_step(study: Study, machine, profile: AppProfile) -> float:
+    """Predicted seconds per application step on one machine (model)."""
+    bw = study.gpu_bandwidth(machine).mean
+    cs = study.commscope(machine)
+    d2d = study.device_latency(machine)
+    # every machine has a class-A pair; it's the common fast path
+    mpi_latency = d2d[LinkClass.A].mean
+    return (
+        profile.kernel_launches * cs.launch.mean
+        + profile.gb_moved * 1e9 / bw
+        + profile.messages * mpi_latency
+        + profile.syncs * cs.wait.mean
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--launches", type=int, default=2000,
+                        help="kernel launches per step")
+    parser.add_argument("--gb-moved", type=float, default=1.0,
+                        help="GB of device traffic per step")
+    parser.add_argument("--messages", type=int, default=200,
+                        help="device MPI messages per step")
+    parser.add_argument("--syncs", type=int, default=100,
+                        help="device synchronizations per step")
+    args = parser.parse_args()
+
+    profile = AppProfile(args.launches, args.gb_moved, args.messages, args.syncs)
+    study = Study(StudyConfig(runs=100))
+
+    print(f"application profile: {profile}")
+    print()
+    print(f"{'machine':14s} {'accel':7s} {'ms/step':>9s}  "
+          f"{'launch':>8s} {'stream':>8s} {'mpi':>8s} {'sync':>8s}")
+    rows = []
+    for machine in gpu_machines():
+        total = time_per_step(study, machine, profile)
+        cs = study.commscope(machine)
+        bw = study.gpu_bandwidth(machine).mean
+        d2d = study.device_latency(machine)[LinkClass.A].mean
+        parts = (
+            profile.kernel_launches * cs.launch.mean,
+            profile.gb_moved * 1e9 / bw,
+            profile.messages * d2d,
+            profile.syncs * cs.wait.mean,
+        )
+        rows.append((total, machine, parts))
+    rows.sort()
+    for total, machine, parts in rows:
+        launch_ms, stream_ms, mpi_ms, sync_ms = (p * 1e3 for p in parts)
+        print(
+            f"{machine.name:14s} {machine.accelerator_family:7s} "
+            f"{total * 1e3:9.3f}  {launch_ms:8.3f} {stream_ms:8.3f} "
+            f"{mpi_ms:8.3f} {sync_ms:8.3f}"
+        )
+
+    best = rows[0][1]
+    print()
+    print(f"recommendation: {best.name} ({best.accelerator_family})")
+    if best.accelerator_family == "MI250X":
+        print("  - driven by sub-microsecond device MPI (fabric RMA) and "
+              "fast queue waits")
+    print("note: host MPI latency is sub-microsecond everywhere "
+          f"(e.g. {study.host_latency(best, PairKind.ON_SOCKET).mean * 1e6:.2f} us "
+          f"on {best.name}); the differentiator is the device path.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Define a machine the paper didn't measure and benchmark it.
+
+The paper's future work notes the DOE fleet had no Arm CPU systems in
+the June-2023 top 150 and invites collaborators with "substantially
+different" systems.  This example builds a hypothetical Arm CPU node
+(Grace-class: 72 cores, LPDDR5X) plus a hypothetical 4-GCD MI250X
+workstation, registers nothing globally, and runs the same benchmark
+code paths on them.
+
+Usage::
+
+    python examples/custom_machine.py
+"""
+
+from repro.benchmarks.babelstream.sweep import best_cpu_bandwidth, best_gpu_bandwidth
+from repro.benchmarks.commscope.runner import run_commscope
+from repro.benchmarks.osu.runner import PairKind, device_latency_by_class, latency_for_pair
+from repro.hardware.cpu import CpuSpec, CpuVendor
+from repro.hardware.gpu import mi250x_gcd
+from repro.hardware.links import LinkKind, link
+from repro.hardware.memory import MemoryKind, MemorySpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.topology import ComponentKind, Topology
+from repro.machines.base import Machine
+from repro.machines.calibration import (
+    CpuStreamCalibration,
+    GpuMpiMode,
+    GpuRuntimeCalibration,
+    MachineCalibration,
+    MpiCalibration,
+)
+from repro.machines.software import MpiFlavor, SoftwareEnvironment
+from repro.units import GiB, gb_per_s, ns, to_gb_per_s, to_us, us
+
+
+def build_arm_cpu_machine() -> Machine:
+    """A hypothetical Grace-class Arm node (not in the paper)."""
+    memory = MemorySpec(
+        kind=MemoryKind.DDR4,  # LPDDR5X modelled via its peak/latency
+        capacity=480 * GiB,
+        peak_bandwidth=gb_per_s(500.0),
+        idle_latency=ns(110.0),
+        channels=32,
+    )
+    cpu = CpuSpec(
+        model="Arm Neoverse V2 (72c)",
+        vendor=CpuVendor.AMD,  # vendor enum is Intel/AMD/IBM; Arm rides along
+        cores=72,
+        smt=1,
+        base_clock_ghz=3.1,
+        memory=memory,
+    )
+    node = NodeSpec(name="arm-node", sockets=[cpu])
+    cal = MachineCalibration(
+        cpu_stream=CpuStreamCalibration(mlp=48.0, allcore_efficiency=0.82),
+        mpi=MpiCalibration(sw_overhead=us(0.12)),
+        provenance="hypothetical Grace-class node for the paper's future work",
+    )
+    sw = SoftwareEnvironment(
+        compiler="gcc/12.2", mpi="openmpi/4.1.4", mpi_flavor=MpiFlavor.OPENMPI
+    )
+    return Machine(name="ArmBox", rank=999, location="example", node=node,
+                   software=sw, calibration=cal, peak_label="500.0 (model)")
+
+
+def build_mi250x_workstation() -> Machine:
+    """A two-package (4-GCD) MI250X box with only quad/single links."""
+    topo = Topology()
+    topo.add_component("cpu0", ComponentKind.CPU, socket=0)
+    for g in range(4):
+        topo.add_component(f"gpu{g}", ComponentKind.GPU, socket=0,
+                           index=g, vendor="amd", package=g // 2)
+        topo.connect("cpu0", f"gpu{g}", link(LinkKind.XGMI_CPU_GPU, 1))
+    topo.connect("gpu0", "gpu1", link(LinkKind.XGMI_GPU, 4))
+    topo.connect("gpu2", "gpu3", link(LinkKind.XGMI_GPU, 4))
+    topo.connect("gpu1", "gpu2", link(LinkKind.XGMI_GPU, 1))
+
+    from repro.hardware import catalog
+    from repro.hardware.topology import LinkClass
+
+    node = NodeSpec(name="mi250x-ws", sockets=[catalog.epyc_trento_7a53()],
+                    gpus=[mi250x_gcd()] * 4, topology=topo)
+    cal = MachineCalibration(
+        mpi=MpiCalibration(sw_overhead=us(0.20), gpu_mode=GpuMpiMode.RMA,
+                           gpu_rma_exchange=us(0.06)),
+        gpu_runtime=GpuRuntimeCalibration(
+            launch_overhead=us(1.9), sync_overhead=us(0.13),
+            h2d_latency=us(12.4), d2h_latency=us(13.0),
+            h2d_bw_efficiency=0.69, d2d_base=us(10.5),
+            d2d_class_extra={LinkClass.C: us(2.4), LinkClass.D: us(0.4)},
+            stream_efficiency=0.80,
+        ),
+        provenance="hypothetical ROCm 5.x workstation",
+    )
+    sw = SoftwareEnvironment(
+        compiler="amd/5.5.0", mpi="openmpi/4.1.4",
+        mpi_flavor=MpiFlavor.OPENMPI, device_library="amd/5.5.0",
+    )
+    return Machine(name="MI250X-WS", rank=998, location="example", node=node,
+                   software=sw, calibration=cal, peak_label="1600 [4]")
+
+
+def main() -> None:
+    arm = build_arm_cpu_machine()
+    print(f"=== {arm.name}: {arm.cpu_model} ===")
+    single = best_cpu_bandwidth(arm, single_thread=True, runs=20)
+    allc = best_cpu_bandwidth(arm, single_thread=False, runs=20)
+    lat = latency_for_pair(arm, PairKind.ON_SOCKET)
+    print(f"  single-thread bandwidth: {to_gb_per_s(single.mean):8.2f} GB/s ({single.op})")
+    print(f"  all-core bandwidth:      {to_gb_per_s(allc.mean):8.2f} GB/s ({allc.op})")
+    print(f"  on-socket MPI latency:   {to_us(lat.latency):8.2f} us")
+    print()
+
+    ws = build_mi250x_workstation()
+    print(f"=== {ws.name}: {ws.node.n_gpus} x {ws.accelerator_model} ===")
+    bw = best_gpu_bandwidth(ws, runs=20)
+    print(f"  device bandwidth:        {to_gb_per_s(bw.mean):8.2f} GB/s ({bw.op})")
+    cs = run_commscope(ws)
+    print(f"  kernel launch / wait:    {to_us(cs.launch):.2f} / {to_us(cs.wait):.2f} us")
+    print(f"  H<->D: {to_us(cs.hd_latency):.2f} us, "
+          f"{to_gb_per_s(cs.hd_bandwidth):.2f} GB/s")
+    print("  GPU pair classes (from the topology, not hand-assigned):")
+    for cls, result in sorted(device_latency_by_class(ws).items(),
+                              key=lambda kv: kv[0].value):
+        print(f"    class {cls.value}: device MPI {to_us(result.latency):5.2f} us, "
+              f"peer copy {to_us(cs.d2d_latency[cls]):6.2f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Inter-node scaling study (the paper's future work, exercised).
+
+Builds a 64-node simulated Frontier cluster on Slingshot-11 dragonfly
+and walks through the questions the paper's section 5 wants answered:
+point-to-point latency vs hop count, injection-bandwidth limits,
+GPU-network integration, allreduce scaling, and the noisy-neighbour
+contention effect ([20]).
+
+Usage::
+
+    python examples/internode_scaling.py [machine-name] [n-nodes]
+"""
+
+import operator
+import sys
+
+from repro import get_machine
+from repro.mpisim.collectives import allreduce
+from repro.mpisim.transport import BufferKind
+from repro.netsim import Cluster, ClusterRankLocation
+from repro.units import to_gb_per_s, to_us
+
+
+def pingpong(nbytes, buffer, iters=4):
+    def rank0(ctx):
+        t0 = ctx.env.now
+        for _ in range(iters):
+            yield from ctx.send(1, nbytes, buffer)
+            yield from ctx.recv(1)
+        return (ctx.env.now - t0) / (2 * iters)
+
+    def rank1(ctx):
+        for _ in range(iters):
+            yield from ctx.recv(0)
+            yield from ctx.send(0, nbytes, buffer)
+
+    return [rank0, rank1]
+
+
+def pair(node_a, node_b, device=None):
+    return [
+        ClusterRankLocation(core=0, device=device, node=node_a),
+        ClusterRankLocation(core=0, device=device, node=node_b),
+    ]
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "frontier"
+    n_nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    machine = get_machine(name)
+    cluster = Cluster(machine, n_nodes)
+    print(f"=== {machine.name} x {n_nodes} nodes over {cluster.fabric.name} "
+          f"({type(cluster.topology).__name__}) ===\n")
+
+    print("latency vs distance (0-byte, host buffers):")
+    seen_hops = set()
+    for dst in range(1, n_nodes):
+        hops = cluster.hops(0, dst)
+        if hops in seen_hops:
+            continue
+        seen_hops.add(hops)
+        cluster.reset_network()
+        lat = cluster.world(pair(0, dst)).run(pingpong(0, BufferKind.HOST))[0]
+        print(f"  node0 -> node{dst:<3d} ({hops} router hops): "
+              f"{to_us(lat):5.2f} us")
+
+    print("\nbandwidth vs message size (node0 -> farthest node):")
+    far = max(range(1, n_nodes), key=lambda d: cluster.hops(0, d))
+    for exp in (12, 16, 20, 24):
+        n = 1 << exp
+        cluster.reset_network()
+        t = cluster.world(pair(0, far)).run(pingpong(n, BufferKind.HOST))[0]
+        print(f"  {n >> 10:8d} KiB: {to_gb_per_s(n / t):6.2f} GB/s")
+    print(f"  (injection limit: "
+          f"{to_gb_per_s(cluster.fabric.injection_bandwidth):.1f} GB/s)")
+
+    if machine.node.has_gpus:
+        cluster.reset_network()
+        host = cluster.world(pair(0, far)).run(pingpong(0, BufferKind.HOST))[0]
+        cluster.reset_network()
+        dev = cluster.world(pair(0, far, device=0)).run(
+            pingpong(0, BufferKind.DEVICE)
+        )[0]
+        print(f"\nGPU-network integration: host {to_us(host):.2f} us vs "
+              f"device {to_us(dev):.2f} us "
+              f"({machine.calibration.mpi.gpu_mode.value} path)")
+
+    print("\nallreduce (8 B) scaling:")
+    for n in (2, 4, 8, 16, min(32, n_nodes), n_nodes):
+        if n > n_nodes:
+            continue
+        cluster.reset_network()
+        world = cluster.world(
+            cluster.placement(ranks_per_node=1, nodes=list(range(n)))
+        )
+
+        def make(rank):
+            def fn(ctx):
+                yield from allreduce(ctx, 1, 8, operator.add)
+                return ctx.env.now
+            return fn
+
+        finish = max(world.run([make(r) for r in range(n)]))
+        print(f"  {n:4d} nodes: {to_us(finish):8.2f} us")
+
+    print("\nnoisy neighbour (two streams sharing global links):")
+    n = 16 << 20
+    src_b = 1
+    dst_a, dst_b = far, far - 1 if far - 1 > 0 else far + 1
+
+    def stream(peer, messages=8):
+        def fn(ctx):
+            t0 = ctx.env.now
+            for _ in range(messages):
+                yield from ctx.send(peer, n, BufferKind.HOST)
+            yield from ctx.recv(peer)
+            return messages * n / (ctx.env.now - t0)
+        return fn
+
+    def sink(peer, messages=8):
+        def fn(ctx):
+            for _ in range(messages):
+                yield from ctx.recv(peer)
+            yield from ctx.send(peer, 0, BufferKind.HOST)
+        return fn
+
+    cluster.reset_network()
+    alone = cluster.world(pair(0, dst_a)).run([stream(1), sink(0)])[0]
+    cluster.reset_network()
+    both = cluster.world(
+        pair(0, dst_a) + pair(src_b, dst_b)
+    )
+    rates = both.run([stream(1), sink(0), stream(3), sink(2)])
+    print(f"  alone:     {to_gb_per_s(alone):6.2f} GB/s")
+    print(f"  contended: {to_gb_per_s(rates[0]):6.2f} and "
+          f"{to_gb_per_s(rates[2]):6.2f} GB/s")
+
+
+if __name__ == "__main__":
+    main()

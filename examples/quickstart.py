@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: measure one machine and compare against the paper.
+
+Runs the three benchmark suites (BabelStream, OSU latency, Comm|Scope)
+on the simulated Frontier node with the paper's 100-execution protocol
+and prints each number next to the published Table 5/6 value.
+
+Usage::
+
+    python examples/quickstart.py [machine-name]
+"""
+
+import sys
+
+from repro import Study, StudyConfig, get_machine
+from repro.benchmarks.osu.runner import PairKind
+from repro.harness.paper_values import PAPER_TABLE5, PAPER_TABLE6
+from repro.units import GB, US
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "frontier"
+    machine = get_machine(name)
+    if not machine.node.has_gpus:
+        raise SystemExit(
+            f"{machine.name} is a CPU system; try examples/openmp_tuning.py"
+        )
+    study = Study(StudyConfig(runs=100))
+
+    print(f"=== {machine.ranked_name()} ({machine.location}) ===")
+    print(f"node: {machine.node.n_sockets} x {machine.cpu_model} + "
+          f"{machine.node.n_gpus} x {machine.accelerator_model}")
+    print(f"software: {machine.software.device_library}, {machine.software.mpi}")
+    print()
+
+    ref5 = PAPER_TABLE5[machine.name]
+    ref6 = PAPER_TABLE6[machine.name]
+
+    def show(label: str, stat, paper: float, unit: str) -> None:
+        print(f"  {label:28s} {stat.format():>16s} {unit}   "
+              f"(paper: {paper:.2f})")
+
+    print("BabelStream (device, 1 GiB vectors):")
+    show("memory bandwidth", study.gpu_bandwidth(machine).scaled(1 / GB),
+         ref5["device_bw"][0], "GB/s")
+
+    print("OSU latency:")
+    show("host-to-host",
+         study.host_latency(machine, PairKind.ON_SOCKET).scaled(1 / US),
+         ref5["host"][0], "us  ")
+    for cls, stat in sorted(study.device_latency(machine).items(),
+                            key=lambda kv: kv[0].value):
+        paper = ref5["d2d"].get(cls)
+        if paper:
+            show(f"device-to-device [{cls.value}]", stat.scaled(1 / US),
+                 paper[0], "us  ")
+
+    print("Comm|Scope:")
+    cs = study.commscope(machine)
+    show("kernel launch", cs.launch.scaled(1 / US), ref6["launch"][0], "us  ")
+    show("queue wait", cs.wait.scaled(1 / US), ref6["wait"][0], "us  ")
+    show("(H2D+D2H)/2 latency", cs.hd_latency.scaled(1 / US),
+         ref6["hd_lat"][0], "us  ")
+    show("(H2D+D2H)/2 bandwidth", cs.hd_bandwidth.scaled(1 / GB),
+         ref6["hd_bw"][0], "GB/s")
+    for cls, stat in sorted(cs.d2d_latency.items(), key=lambda kv: kv[0].value):
+        paper = ref6["d2d"].get(cls)
+        if paper:
+            show(f"peer copy [{cls.value}]", stat.scaled(1 / US),
+                 paper[0], "us  ")
+
+
+if __name__ == "__main__":
+    main()

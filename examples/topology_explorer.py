@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Explore node topologies: diagrams, routes and link classes.
+
+Prints the paper's Figures 1-3 (plus any other machine's node diagram),
+and answers route queries like "how does a transfer from gpu0 reach
+gpu5 on Summit?" — the structural facts behind the A/B/C/D columns.
+
+Usage::
+
+    python examples/topology_explorer.py [machine ...]
+"""
+
+import sys
+
+from repro import get_machine, gpu_machines
+from repro.core.figures import render_node_ascii, render_node_dot
+from repro.units import to_gb_per_s
+
+
+def explore(machine) -> None:
+    print(render_node_ascii(machine))
+    topo = machine.node.topology
+    gpus = topo.gpus()
+    if len(gpus) >= 2:
+        print("  example routes:")
+        shown = 0
+        for i, a in enumerate(gpus):
+            for b in gpus[i + 1:]:
+                cls = topo.classify_gpu_pair(a, b)
+                route = " -> ".join(cls.route)
+                bw = to_gb_per_s(topo.path_bandwidth(cls.route))
+                print(f"    {a}->{b} [class {cls.link_class.value}] "
+                      f"{cls.description}: {route} (bottleneck {bw:.0f} GB/s)")
+                shown += 1
+                if shown >= 6:
+                    break
+            if shown >= 6:
+                break
+    print()
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["frontier", "summit", "perlmutter"]
+    for name in names:
+        explore(get_machine(name))
+    if not sys.argv[1:]:
+        print("Graphviz DOT of Figure 1 (pipe into `dot -Tpng`):\n")
+        print(render_node_dot(get_machine("frontier")))
+        print("\navailable GPU machines:",
+              ", ".join(m.name for m in gpu_machines()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — a simulated reproduction of *"Latency and Bandwidth
+Microbenchmarks of US Department of Energy Systems in the June 2023
+Top500 List"* (Siefert, Pearson, Olivier, Prokopenko, Hu, Fuller;
+SC-W 2023).
+
+The package models the 13 DOE systems the paper measured, reimplements
+the three benchmark suites it ran (BabelStream 4.0, OSU Micro-Benchmarks
+7.1.1, Comm|Scope 0.12.0) on top of simulated hardware, and regenerates
+every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+::
+
+    from repro import get_machine, Study
+    from repro.core import build_table6, render_table6
+
+    study = Study()
+    print(render_table6(build_table6(study)))
+
+or from the shell: ``python -m repro table6``.
+"""
+
+from ._version import __version__
+from .machines import (
+    Machine,
+    all_machines,
+    by_rank,
+    cpu_machines,
+    get_machine,
+    gpu_machines,
+    machine_names,
+)
+from .core import Study, StudyConfig, Statistic
+
+__all__ = [
+    "__version__",
+    "Machine",
+    "get_machine",
+    "by_rank",
+    "machine_names",
+    "cpu_machines",
+    "gpu_machines",
+    "all_machines",
+    "Study",
+    "StudyConfig",
+    "Statistic",
+]

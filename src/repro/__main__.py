@@ -1,0 +1,6 @@
+"""``python -m repro`` — the study harness CLI."""
+
+from .harness.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

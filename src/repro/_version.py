@@ -1,0 +1,11 @@
+"""Version information for the repro package."""
+
+__version__ = "1.0.0"
+
+#: Versions of the benchmark suites whose behaviour this package reimplements.
+BABELSTREAM_VERSION = "4.0"
+OSU_MICROBENCHMARKS_VERSION = "7.1.1"
+COMMSCOPE_VERSION = "0.12.0"
+
+#: The Top500 list edition the machine inventory is drawn from.
+TOP500_EDITION = "June 2023"

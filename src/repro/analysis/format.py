@@ -1,0 +1,39 @@
+"""Plain-text table layout and unit formatting helpers."""
+
+from __future__ import annotations
+
+from ..units import to_gb_per_s, to_us
+
+
+def layout_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Left-aligned fixed-width text table with a dashed separator."""
+    if any(len(r) != len(headers) for r in rows):
+        raise ValueError("row width does not match header width")
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+
+
+def format_seconds(seconds: float) -> str:
+    """Adaptive time formatting (ns / us / ms / s)."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{to_us(seconds):.2f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_bytes_per_s(rate: float) -> str:
+    """Rates in the paper's GB/s convention."""
+    return f"{to_gb_per_s(rate):.2f} GB/s"

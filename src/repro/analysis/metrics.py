@@ -1,0 +1,27 @@
+"""Error metrics for the paper-vs-measured comparison."""
+
+from __future__ import annotations
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / |reference|`` (inf for zero reference)."""
+    if reference == 0:
+        return float("inf") if measured != 0 else 0.0
+    return abs(measured - reference) / abs(reference)
+
+
+def ratio(measured: float, reference: float) -> float:
+    """measured / reference (inf for zero reference)."""
+    if reference == 0:
+        return float("inf")
+    return measured / reference
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """True when the two values agree within a multiplicative factor."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1: {factor}")
+    if measured <= 0 or reference <= 0:
+        return measured == reference
+    r = measured / reference
+    return 1 / factor <= r <= factor

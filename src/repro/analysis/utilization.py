@@ -1,0 +1,124 @@
+"""Utilization analysis from traces and link counters.
+
+Answers "where did the time go": DMA-engine busy fractions from a
+:class:`~repro.sim.trace.TraceRecorder`, and per-link traffic/occupancy
+summaries from a cluster's :class:`~repro.netsim.links.LinkTable` —
+the observability layer a performance study needs once experiments get
+bigger than one ping-pong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BenchmarkConfigError
+from ..sim.trace import TraceRecorder
+from ..units import to_gb_per_s
+
+
+@dataclass(frozen=True)
+class DmaUtilization:
+    """Aggregate DMA activity of one device over an observation window."""
+
+    device: int
+    transfers: int
+    bytes_moved: int
+    busy_seconds: float
+    window_seconds: float
+
+    @property
+    def busy_fraction(self) -> float:
+        if self.window_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / self.window_seconds)
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        """bytes/second while busy (0 if never busy)."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.bytes_moved / self.busy_seconds
+
+
+def dma_utilization(
+    trace: TraceRecorder, window_seconds: float
+) -> dict[int, DmaUtilization]:
+    """Per-device DMA utilization from ``dma`` trace spans.
+
+    The GPU runtime records ``<kind>.begin`` / ``<kind>.end`` pairs in
+    the ``dma`` category with a ``device`` attribute; this pairs them up
+    per device and aggregates.
+    """
+    if window_seconds <= 0:
+        raise BenchmarkConfigError(
+            f"window must be positive: {window_seconds}"
+        )
+    open_spans: dict[tuple[int, str], list[tuple[float, int]]] = {}
+    acc: dict[int, dict[str, float]] = {}
+    for event in trace.filter(category="dma"):
+        device = int(event.attrs.get("device", 0))
+        kind = event.label.rsplit(".", 1)[0]
+        if event.label.endswith(".begin"):
+            open_spans.setdefault((device, kind), []).append(
+                (event.time, int(event.attrs.get("nbytes", 0)))
+            )
+        elif event.label.endswith(".end"):
+            pending = open_spans.get((device, kind))
+            if not pending:
+                continue  # end without a recorded begin: ignore
+            start, nbytes = pending.pop(0)
+            slot = acc.setdefault(
+                device, {"transfers": 0, "bytes": 0, "busy": 0.0}
+            )
+            slot["transfers"] += 1
+            slot["bytes"] += int(event.attrs.get("nbytes", nbytes))
+            slot["busy"] += max(0.0, event.time - start)
+    return {
+        device: DmaUtilization(
+            device=device,
+            transfers=int(v["transfers"]),
+            bytes_moved=int(v["bytes"]),
+            busy_seconds=v["busy"],
+            window_seconds=window_seconds,
+        )
+        for device, v in sorted(acc.items())
+    }
+
+
+@dataclass(frozen=True)
+class LinkUsage:
+    """One network link's traffic summary."""
+
+    name: str
+    transfers: int
+    bytes_carried: int
+    utilisation: float
+
+
+def link_usage(link_table, window_seconds: float,
+               busiest: int | None = None) -> list[LinkUsage]:
+    """Traffic summary of a cluster's links, busiest first."""
+    if window_seconds <= 0:
+        raise BenchmarkConfigError(f"window must be positive: {window_seconds}")
+    rows = [
+        LinkUsage(
+            name=link.name,
+            transfers=link.transfers,
+            bytes_carried=link.bytes_carried,
+            utilisation=link.utilisation_until(window_seconds),
+        )
+        for link in link_table.links.values()
+        if link.transfers > 0
+    ]
+    rows.sort(key=lambda r: r.bytes_carried, reverse=True)
+    return rows[:busiest] if busiest is not None else rows
+
+
+def render_link_usage(rows: list[LinkUsage]) -> str:
+    lines = [f"{'link':22s} {'transfers':>9s} {'GB':>8s} {'util':>6s}"]
+    for row in rows:
+        lines.append(
+            f"{row.name:22s} {row.transfers:9d} "
+            f"{row.bytes_carried / 1e9:8.2f} {row.utilisation * 100:5.1f}%"
+        )
+    return "\n".join(lines)

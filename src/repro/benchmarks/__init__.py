@@ -1,0 +1,13 @@
+"""Reimplementations of the paper's three benchmark suites.
+
+* :mod:`~repro.benchmarks.babelstream` — BabelStream 4.0 (memory
+  bandwidth; OpenMP CPU backend and CUDA/HIP device backend);
+* :mod:`~repro.benchmarks.osu` — OSU Micro-Benchmarks 7.1.1 pt2pt
+  latency (plus bandwidth extensions);
+* :mod:`~repro.benchmarks.commscope` — Comm|Scope 0.12.0 kernel-launch,
+  queue-wait and memcpy tests.
+
+Each suite executes its real algorithmic structure against the simulated
+hardware; the paper's outer protocol (100 executions of each binary,
+mean +- std) is implemented in :mod:`repro.core`.
+"""

@@ -1,0 +1,37 @@
+"""BabelStream 4.0 reimplementation.
+
+The suite's five operations (Copy, Mul, Add, Triad, Dot) run either on
+the OpenMP CPU model (sweeping the paper's Table 1 environment
+configurations) or on the simulated device runtime.  Byte counting
+follows upstream BabelStream exactly — and therefore ignores CPU
+write-allocate traffic, which the traffic model *does* move, so the
+best-operation selection behaves like the real tool (Dot wins on CPUs).
+"""
+
+from .kernels import StreamArrays, START_A, START_B, START_C, START_SCALAR
+from .cpu import CpuStreamRun, run_cpu_config
+from .gpu import GpuStreamRun, run_gpu_stream
+from .sweep import (
+    BestResult,
+    default_cpu_sizes,
+    default_gpu_size,
+    best_cpu_bandwidth,
+    best_gpu_bandwidth,
+)
+
+__all__ = [
+    "StreamArrays",
+    "START_A",
+    "START_B",
+    "START_C",
+    "START_SCALAR",
+    "CpuStreamRun",
+    "run_cpu_config",
+    "GpuStreamRun",
+    "run_gpu_stream",
+    "BestResult",
+    "default_cpu_sizes",
+    "default_gpu_size",
+    "best_cpu_bandwidth",
+    "best_gpu_bandwidth",
+]

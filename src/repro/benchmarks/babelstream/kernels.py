@@ -1,0 +1,98 @@
+"""The five BabelStream kernels, executed for real on numpy arrays.
+
+The simulation decides how *long* each kernel takes; this module makes
+sure the kernels also *compute the right thing*, replicating upstream
+BabelStream's initial values and solution check.  The study harness runs
+a (small) real array through every kernel on every platform so a broken
+kernel can never silently report a bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import BenchmarkConfigError
+from ...memsys.writealloc import ALL_KERNELS, KernelTraffic
+
+#: Upstream BabelStream initial values (main.cpp defaults).
+START_A = 0.1
+START_B = 0.2
+START_C = 0.0
+START_SCALAR = 0.4
+
+
+class StreamArrays:
+    """The a/b/c arrays and the kernel implementations."""
+
+    def __init__(self, n: int, dtype=np.float64) -> None:
+        if n < 2:
+            raise BenchmarkConfigError(f"array length must be >= 2: {n}")
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.a = np.full(n, START_A, dtype=self.dtype)
+        self.b = np.full(n, START_B, dtype=self.dtype)
+        self.c = np.full(n, START_C, dtype=self.dtype)
+        self.scalar = self.dtype.type(START_SCALAR)
+        self.last_dot: float | None = None
+
+    @property
+    def array_bytes(self) -> int:
+        return self.n * self.dtype.itemsize
+
+    # -- kernels ---------------------------------------------------------
+    def copy(self) -> None:
+        np.copyto(self.c, self.a)
+
+    def mul(self) -> None:
+        np.multiply(self.c, self.scalar, out=self.b)
+
+    def add(self) -> None:
+        np.add(self.a, self.b, out=self.c)
+
+    def triad(self) -> None:
+        np.multiply(self.c, self.scalar, out=self.a)
+        np.add(self.a, self.b, out=self.a)
+
+    def dot(self) -> float:
+        self.last_dot = float(np.dot(self.a, self.b))
+        return self.last_dot
+
+    def nstream(self) -> None:
+        """BabelStream's optional sixth kernel: a += b + scalar * c."""
+        self.a += self.b + self.scalar * self.c
+
+    def run_kernel(self, traffic: KernelTraffic) -> None:
+        getattr(self, traffic.name.lower())()
+
+    def run_all(self, repetitions: int = 1) -> None:
+        """One BabelStream outer iteration: all five kernels in order."""
+        if repetitions < 1:
+            raise BenchmarkConfigError(f"repetitions must be >= 1: {repetitions}")
+        for _ in range(repetitions):
+            for kernel in ALL_KERNELS:
+                self.run_kernel(kernel)
+
+    # -- validation --------------------------------------------------------
+    def expected_values(self, repetitions: int) -> tuple[float, float, float, float]:
+        """Scalar-evolution of a, b, c and the dot value (upstream check)."""
+        a, b, c, s = START_A, START_B, START_C, START_SCALAR
+        for _ in range(repetitions):
+            c = a           # copy
+            b = s * c       # mul
+            c = a + b       # add
+            a = b + s * c   # triad
+        return a, b, c, a * b * self.n
+
+    def check_solution(self, repetitions: int, rtol: float = 1e-8) -> bool:
+        """Replicates BabelStream's epsilon check against the evolution."""
+        exp_a, exp_b, exp_c, exp_dot = self.expected_values(repetitions)
+        err_a = float(np.abs(self.a - exp_a).mean())
+        err_b = float(np.abs(self.b - exp_b).mean())
+        err_c = float(np.abs(self.c - exp_c).mean())
+        ok = all(
+            err < abs(exp) * rtol + 1e-12
+            for err, exp in ((err_a, exp_a), (err_b, exp_b), (err_c, exp_c))
+        )
+        if self.last_dot is not None:
+            ok = ok and abs(self.last_dot - exp_dot) <= abs(exp_dot) * 1e-6
+        return ok

@@ -1,0 +1,39 @@
+"""Comm|Scope 0.12.0 reimplementation.
+
+The five test families the paper runs (CUDA names; HIP equivalents on
+the AMD machines):
+
+* ``Comm_cudart_kernel`` — kernel **launch** latency (host wall time of
+  the launch call, *not* completion);
+* ``Comm_cudaDeviceSynchronize`` — empty-queue **wait** latency;
+* ``Comm_cudaMemcpyAsync_PinnedToGPU`` / ``GPUToPinned`` — H2D / D2H
+  copies with a pinned host buffer (latency at 128 B, bandwidth at 1 GB);
+* ``Comm_cudaMemcpyAsync_GPUToGPU`` — peer copies per link class.
+
+Comm|Scope builds on google/benchmark, which adaptively chooses how
+many iterations to run per measurement; :mod:`.iteration` models that
+controller.
+"""
+
+from .iteration import IterationController
+from .launch import launch_latency
+from .sync import sync_latency
+from .memcpy_tests import (
+    MemcpyMeasurement,
+    memcpy_d2d,
+    memcpy_gpu_to_pinned,
+    memcpy_pinned_to_gpu,
+)
+from .runner import CommScopeResults, run_commscope
+
+__all__ = [
+    "IterationController",
+    "launch_latency",
+    "sync_latency",
+    "MemcpyMeasurement",
+    "memcpy_d2d",
+    "memcpy_gpu_to_pinned",
+    "memcpy_pinned_to_gpu",
+    "CommScopeResults",
+    "run_commscope",
+]

@@ -1,0 +1,133 @@
+"""``Comm_*MemcpyAsync_*``: data-copy latency and bandwidth.
+
+Per the paper (section 4): copies invoke and complete an asynchronous
+memcpy; host-side buffers are pinned; latency uses 128 B transfers and
+bandwidth uses 1 GB transfers; H2D and D2H are averaged and reported
+together; device-to-device copies are reported per link class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import BenchmarkConfigError
+from ...gpurt.api import DeviceRuntime
+from ...gpurt.buffers import Buffer
+from ...hardware.topology import LinkClass
+from ...machines.base import Machine
+from ...sim.random import NOISE_BANDWIDTH, NOISE_LATENCY, NoiseModel
+
+#: the paper's transfer sizes
+LATENCY_BYTES = 128
+BANDWIDTH_BYTES = 1 << 30
+
+
+@dataclass(frozen=True)
+class MemcpyMeasurement:
+    """One memcpy test: time and derived rate."""
+
+    machine: str
+    description: str
+    nbytes: int
+    #: issue-to-completion wall time, seconds
+    seconds: float
+
+    @property
+    def bandwidth(self) -> float:
+        """bytes/second over the full issue-to-completion window."""
+        return self.nbytes / self.seconds
+
+
+def _timed_copy(rt: DeviceRuntime, dst: Buffer, src: Buffer, nbytes: int,
+                sync_device: int) -> float:
+    def host():
+        t0 = rt.env.now
+        yield from rt.memcpy_async(dst, src, nbytes)
+        yield from rt.stream_synchronize(sync_device)
+        return rt.env.now - t0
+
+    return rt.run(host())
+
+
+def memcpy_pinned_to_gpu(
+    machine: Machine,
+    nbytes: int,
+    device: int = 0,
+    rng: np.random.Generator | None = None,
+    noise: NoiseModel | None = None,
+) -> MemcpyMeasurement:
+    """``Comm_cudaMemcpyAsync_PinnedToGPU`` (H2D, pinned source)."""
+    rt = DeviceRuntime(machine)
+    src = rt.alloc_host(nbytes, pinned=True)
+    dst = rt.alloc_device(device, nbytes)
+    seconds = _timed_copy(rt, dst, src, nbytes, device)
+    seconds = _jitter(seconds, nbytes, rng, noise)
+    return MemcpyMeasurement(machine.name, "PinnedToGPU", nbytes, seconds)
+
+
+def memcpy_gpu_to_pinned(
+    machine: Machine,
+    nbytes: int,
+    device: int = 0,
+    rng: np.random.Generator | None = None,
+    noise: NoiseModel | None = None,
+) -> MemcpyMeasurement:
+    """``Comm_cudaMemcpyAsync_GPUToPinned`` (D2H, pinned destination)."""
+    rt = DeviceRuntime(machine)
+    src = rt.alloc_device(device, nbytes)
+    dst = rt.alloc_host(nbytes, pinned=True)
+    seconds = _timed_copy(rt, dst, src, nbytes, device)
+    seconds = _jitter(seconds, nbytes, rng, noise)
+    return MemcpyMeasurement(machine.name, "GPUToPinned", nbytes, seconds)
+
+
+def memcpy_d2d(
+    machine: Machine,
+    src_device: int,
+    dst_device: int,
+    nbytes: int,
+    rng: np.random.Generator | None = None,
+    noise: NoiseModel | None = None,
+) -> MemcpyMeasurement:
+    """``Comm_cudaMemcpyAsync_GPUToGPU`` between two devices."""
+    if src_device == dst_device:
+        raise BenchmarkConfigError("GPUToGPU needs two distinct devices")
+    rt = DeviceRuntime(machine)
+    src = rt.alloc_device(src_device, nbytes)
+    dst = rt.alloc_device(dst_device, nbytes)
+    seconds = _timed_copy(rt, dst, src, nbytes, src_device)
+    seconds = _jitter(seconds, nbytes, rng, noise)
+    return MemcpyMeasurement(
+        machine.name, f"GPUToGPU[{src_device}->{dst_device}]", nbytes, seconds
+    )
+
+
+def d2d_by_class(
+    machine: Machine,
+    nbytes: int = LATENCY_BYTES,
+    rng: np.random.Generator | None = None,
+    noise: NoiseModel | None = None,
+) -> dict[LinkClass, MemcpyMeasurement]:
+    """One representative GPUToGPU measurement per topology link class."""
+    names = machine.node.gpu_names()
+    out: dict[LinkClass, MemcpyMeasurement] = {}
+    for cls, (a, b) in machine.node.topology.representative_pairs().items():
+        out[cls] = memcpy_d2d(
+            machine, names.index(a), names.index(b), nbytes, rng, noise
+        )
+    return out
+
+
+def _jitter(
+    seconds: float,
+    nbytes: int,
+    rng: np.random.Generator | None,
+    noise: NoiseModel | None,
+) -> float:
+    if rng is None:
+        return seconds
+    if noise is None:
+        noise = NOISE_LATENCY if nbytes <= 4096 else NOISE_BANDWIDTH
+    return noise.sample(rng, seconds)

@@ -1,0 +1,106 @@
+"""The named Comm|Scope test matrix (paper Appendix B.2).
+
+The paper runs, per vendor:
+
+* NVIDIA: ``Comm_cudaMemcpyAsync_GPUToGPU``, ``Comm_cudaMemcpyAsync_
+  PinnedToGPU``, ``Comm_cudaMemcpyAsync_GPUToPinned``,
+  ``Comm_cudaDeviceSynchronize``, ``Comm_cudart_kernel``;
+* AMD: ``Comm_hipMemcpyAsync_GPUToGPU``, ``Comm_hipMemcpyAsync_
+  PinnedToGPU``, ``Comm_hipMemcpyAsync_GPUToPinned``,
+  ``Comm_hipDeviceSynchronize``, ``Comm_hip_kernel``.
+
+This module exposes exactly those names, resolved per machine, so the
+harness can execute "the binary the paper ran" by its upstream name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...errors import BenchmarkConfigError
+from ...hardware.gpu import GpuVendor
+from ...machines.base import Machine
+from .launch import launch_latency
+from .memcpy_tests import (
+    LATENCY_BYTES,
+    memcpy_d2d,
+    memcpy_gpu_to_pinned,
+    memcpy_pinned_to_gpu,
+)
+from .sync import sync_latency
+
+#: canonical test suffixes shared by both vendors
+_SUFFIXES = (
+    "MemcpyAsync_GPUToGPU",
+    "MemcpyAsync_PinnedToGPU",
+    "MemcpyAsync_GPUToPinned",
+    "DeviceSynchronize",
+    "kernel",
+)
+
+
+def test_names_for(machine: Machine) -> list[str]:
+    """The upstream binary names the paper ran on this machine."""
+    if not machine.node.has_gpus:
+        raise BenchmarkConfigError(
+            f"{machine.name}: \"On CPU only systems, Comm|Scope is not "
+            "used.\" (paper Appendix B.2)"
+        )
+    vendor = machine.node.gpus[0].vendor
+    if vendor == GpuVendor.NVIDIA:
+        return [
+            "Comm_cudaMemcpyAsync_GPUToGPU",
+            "Comm_cudaMemcpyAsync_PinnedToGPU",
+            "Comm_cudaMemcpyAsync_GPUToPinned",
+            "Comm_cudaDeviceSynchronize",
+            "Comm_cudart_kernel",
+        ]
+    return [
+        "Comm_hipMemcpyAsync_GPUToGPU",
+        "Comm_hipMemcpyAsync_PinnedToGPU",
+        "Comm_hipMemcpyAsync_GPUToPinned",
+        "Comm_hipDeviceSynchronize",
+        "Comm_hip_kernel",
+    ]
+
+
+def _runner_for(name: str) -> Callable[[Machine, int], float]:
+    """Map an upstream test name to its measurement (seconds)."""
+    if name.endswith("MemcpyAsync_GPUToGPU"):
+        return lambda machine, nbytes: memcpy_d2d(machine, 0, 1, nbytes).seconds
+    if name.endswith("MemcpyAsync_PinnedToGPU"):
+        return lambda machine, nbytes: memcpy_pinned_to_gpu(machine, nbytes).seconds
+    if name.endswith("MemcpyAsync_GPUToPinned"):
+        return lambda machine, nbytes: memcpy_gpu_to_pinned(machine, nbytes).seconds
+    if name.endswith("DeviceSynchronize"):
+        return lambda machine, _nbytes: sync_latency(machine)
+    if name.endswith("kernel"):
+        return lambda machine, _nbytes: launch_latency(machine)
+    raise BenchmarkConfigError(f"unknown Comm|Scope test: {name}")
+
+
+def run_named_test(
+    machine: Machine, name: str, nbytes: int = LATENCY_BYTES
+) -> float:
+    """Execute one upstream-named test; returns its figure in seconds.
+
+    The name must belong to this machine's vendor (running
+    ``Comm_cudart_kernel`` on Frontier is the kind of mistake this
+    refuses to paper over).
+    """
+    if name not in test_names_for(machine):
+        raise BenchmarkConfigError(
+            f"{name!r} is not a {machine.node.gpus[0].vendor.value} test; "
+            f"{machine.name} runs: {', '.join(test_names_for(machine))}"
+        )
+    return _runner_for(name)(machine, nbytes)
+
+
+def run_full_suite(
+    machine: Machine, nbytes: int = LATENCY_BYTES
+) -> dict[str, float]:
+    """Every named test for the machine, keyed by upstream name."""
+    return {
+        name: run_named_test(machine, name, nbytes)
+        for name in test_names_for(machine)
+    }

@@ -1,0 +1,104 @@
+"""Node-topology figure rendering (paper Figures 1-3).
+
+The paper's figures are node diagrams of the three GPU-node families:
+Frontier/RZVernal/Tioga (Figure 1), Summit — and with four GPUs,
+Sierra/Lassen — (Figure 2), and Perlmutter/Polaris (Figure 3).  This
+module renders any machine's topology as ASCII art (for terminals and
+golden tests) and as Graphviz DOT (for documentation).
+"""
+
+from __future__ import annotations
+
+from ..errors import BenchmarkConfigError
+from ..hardware.links import LinkKind
+from ..hardware.topology import ComponentKind
+from ..machines.base import Machine
+from ..machines.registry import get_machine
+from ..units import to_gb_per_s
+
+#: which paper figure shows which machine's node
+FIGURE_MACHINES = {1: "frontier", 2: "summit", 3: "perlmutter"}
+
+_KIND_LABEL = {
+    LinkKind.PCIE3: "PCIe3",
+    LinkKind.PCIE4: "PCIe4",
+    LinkKind.NVLINK2: "NVLink2",
+    LinkKind.NVLINK3: "NVLink3",
+    LinkKind.XGMI_GPU: "IF",
+    LinkKind.XGMI_CPU_GPU: "IF(C-G)",
+    LinkKind.UPI: "UPI",
+    LinkKind.XBUS: "X-Bus",
+}
+
+
+def figure_for(number: int) -> Machine:
+    """The machine whose node a paper figure depicts."""
+    try:
+        return get_machine(FIGURE_MACHINES[number])
+    except KeyError:
+        raise BenchmarkConfigError(
+            f"the paper has figures 1-3; got figure {number}"
+        ) from None
+
+
+def _link_label(link) -> str:
+    kind = _KIND_LABEL.get(link.kind, link.kind.value)
+    mult = f"{link.count}x " if link.count != 1 else ""
+    return f"{mult}{kind}"
+
+
+def render_node_ascii(machine: Machine) -> str:
+    """A textual node diagram: components, then every link with its
+    technology, width and aggregate bandwidth."""
+    node = machine.node
+    topo = node.topology
+    lines = [
+        f"{machine.name} node ({node.name})",
+        f"  CPU: {node.n_sockets} x {node.cpu.model} "
+        f"({node.cpu.cores} cores, SMT{node.cpu.smt})",
+    ]
+    if node.has_gpus:
+        gpu = node.gpus[0]
+        lines.append(f"  GPU: {node.n_gpus} x {gpu.model}")
+    lines.append("  links:")
+    seen = set()
+    for name in sorted(topo.components):
+        for other, link in sorted(topo.neighbors(name)):
+            key = tuple(sorted((name, other)))
+            if key in seen:
+                continue
+            seen.add(key)
+            bw = to_gb_per_s(link.bandwidth_per_dir)
+            lines.append(
+                f"    {name:6s} <--{_link_label(link):>9s}--> {other:6s}"
+                f"  ({bw:.1f} GB/s per direction)"
+            )
+    if node.has_gpus:
+        lines.append("  device-pair classes:")
+        for cls, pairs in sorted(
+            topo.gpu_pair_classes().items(), key=lambda kv: kv[0].value
+        ):
+            pair_text = ", ".join(f"{a}-{b}" for a, b in sorted(pairs))
+            lines.append(f"    {cls.value}: {pair_text}")
+    return "\n".join(lines)
+
+
+def render_node_dot(machine: Machine) -> str:
+    """Graphviz DOT for the node topology."""
+    topo = machine.node.topology
+    out = [f'graph "{machine.name}" {{', "  layout=neato;", "  overlap=false;"]
+    for name, comp in sorted(topo.components.items()):
+        shape = "box" if comp.kind == ComponentKind.CPU else "ellipse"
+        out.append(f'  "{name}" [shape={shape}];')
+    seen = set()
+    for name in sorted(topo.components):
+        for other, link in sorted(topo.neighbors(name)):
+            key = tuple(sorted((name, other)))
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(
+                f'  "{key[0]}" -- "{key[1]}" [label="{_link_label(link)}"];'
+            )
+    out.append("}")
+    return "\n".join(out)

@@ -1,0 +1,110 @@
+"""Per-machine report cards.
+
+The paper's goal is an "easy first-stop reference" for developers with
+performance questions about a specific machine.  This module renders a
+one-page summary per system — hardware, software, every measured metric
+with its paper column — consumable standalone or via the artifact
+bundle.
+"""
+
+from __future__ import annotations
+
+from ..benchmarks.osu.runner import PairKind
+from ..machines.base import Machine
+from ..units import GB, US
+from .figures import render_node_ascii
+from .study import Study
+
+
+def _fmt(stat, factor: float, unit: str) -> str:
+    return f"{stat.scaled(factor).format()} {unit}"
+
+
+def machine_report(machine: Machine, study: Study | None = None) -> str:
+    """One machine's full report card (markdown)."""
+    study = study or Study()
+    sw = machine.software
+    lines = [
+        f"# {machine.ranked_name()} ({machine.location})",
+        "",
+        f"- class: {machine.machine_class.value}",
+        f"- node: {machine.node.n_sockets} x {machine.cpu_model}"
+        + (
+            f" + {machine.node.n_gpus} x {machine.accelerator_model}"
+            if machine.node.has_gpus else ""
+        ),
+        f"- cores: {machine.node.total_cores} "
+        f"({machine.node.total_hardware_threads} hardware threads)",
+        f"- software: compiler `{sw.compiler}`, MPI `{sw.mpi}`"
+        + (f", device `{sw.device_library}`" if sw.device_library else ""),
+    ]
+    if machine.notes:
+        lines.append(f"- note: {machine.notes}")
+    if machine.calibration.provenance:
+        lines.append(f"- calibration: {machine.calibration.provenance}")
+    lines.append("")
+
+    lines.append("## Measurements")
+    lines.append("")
+    if machine.node.has_gpus:
+        lines.append(
+            f"- device memory bandwidth (BabelStream, 1 GiB): "
+            f"{_fmt(study.gpu_bandwidth(machine), 1 / GB, 'GB/s')} "
+            f"(peak {machine.peak_label})"
+        )
+        lines.append(
+            f"- host-to-host MPI latency: "
+            f"{_fmt(study.host_latency(machine, PairKind.ON_SOCKET), 1 / US, 'us')}"
+        )
+        for cls, stat in sorted(
+            study.device_latency(machine).items(), key=lambda kv: kv[0].value
+        ):
+            lines.append(
+                f"- device-to-device MPI latency [{cls.value}]: "
+                f"{_fmt(stat, 1 / US, 'us')}"
+            )
+        cs = study.commscope(machine)
+        lines.append(f"- kernel launch: {_fmt(cs.launch, 1 / US, 'us')}")
+        lines.append(f"- empty-queue wait: {_fmt(cs.wait, 1 / US, 'us')}")
+        lines.append(
+            f"- (H2D+D2H)/2: {_fmt(cs.hd_latency, 1 / US, 'us')} at 128 B, "
+            f"{_fmt(cs.hd_bandwidth, 1 / GB, 'GB/s')} at 1 GB"
+        )
+        for cls, stat in sorted(
+            cs.d2d_latency.items(), key=lambda kv: kv[0].value
+        ):
+            lines.append(
+                f"- peer copy latency [{cls.value}]: {_fmt(stat, 1 / US, 'us')}"
+            )
+    else:
+        lines.append(
+            f"- single-thread bandwidth: "
+            f"{_fmt(study.cpu_bandwidth(machine, True), 1 / GB, 'GB/s')}"
+        )
+        lines.append(
+            f"- all-core bandwidth: "
+            f"{_fmt(study.cpu_bandwidth(machine, False), 1 / GB, 'GB/s')} "
+            f"(peak {machine.peak_label})"
+        )
+        lines.append(
+            f"- on-socket MPI latency: "
+            f"{_fmt(study.host_latency(machine, PairKind.ON_SOCKET), 1 / US, 'us')}"
+        )
+        lines.append(
+            f"- on-node MPI latency: "
+            f"{_fmt(study.host_latency(machine, PairKind.ON_NODE), 1 / US, 'us')}"
+        )
+    lines += ["", "## Node topology", "", "```",
+              render_node_ascii(machine), "```", ""]
+    return "\n".join(lines)
+
+
+def all_machine_reports(study: Study | None = None) -> dict[str, str]:
+    """Report cards for every machine, keyed by lowercase name."""
+    from ..machines.registry import all_machines
+
+    study = study or Study()
+    return {
+        machine.name.lower(): machine_report(machine, study)
+        for machine in all_machines()
+    }

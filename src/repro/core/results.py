@@ -1,0 +1,44 @@
+"""Aggregated measurement statistics (the "mean +- std over 100 runs")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BenchmarkConfigError
+
+
+@dataclass(frozen=True)
+class Statistic:
+    """Mean and standard deviation of a repeated measurement."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise BenchmarkConfigError(f"sample count must be >= 1: {self.n}")
+        if self.std < 0:
+            raise BenchmarkConfigError(f"negative std: {self.std}")
+
+    @classmethod
+    def from_samples(cls, samples) -> "Statistic":
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 1 or arr.size < 1:
+            raise BenchmarkConfigError("from_samples needs a non-empty 1-D array")
+        std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        return cls(mean=float(arr.mean()), std=std, n=int(arr.size))
+
+    def scaled(self, factor: float) -> "Statistic":
+        """Unit conversion (e.g. seconds -> microseconds)."""
+        return Statistic(self.mean * factor, self.std * abs(factor), self.n)
+
+    def format(self, digits: int = 2) -> str:
+        """The paper's cell format: ``12.36 +- 0.16``."""
+        return f"{self.mean:.{digits}f} ± {self.std:.{digits}f}"
+
+    def relative_std(self) -> float:
+        """Coefficient of variation (0 for a zero mean)."""
+        return self.std / self.mean if self.mean else 0.0

@@ -1,0 +1,218 @@
+"""Study orchestration: the paper's outer measurement protocol.
+
+"Binaries for each of the three tests ... are executed 100 times.  The
+mean and standard deviation are calculated across those 100 tests."
+(paper section 4).  :class:`Study` implements exactly that per machine
+and metric.
+
+Two execution modes:
+
+* ``exact=True`` — every one of the ``runs`` binary executions runs its
+  full simulated benchmark (discrete-event protocol and all).  Faithful
+  and used by the tests for spot checks.
+* ``exact=False`` (default) — the binary runs once on the simulator to
+  obtain its deterministic figure; the run-to-run machine jitter is then
+  drawn vectorised from the same noise model the exact path uses.  The
+  two modes agree in distribution because within-run benchmarks are
+  deterministic given the jitter draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..benchmarks.babelstream.sweep import (
+    best_cpu_bandwidth,
+    best_gpu_bandwidth,
+    default_gpu_size,
+)
+from ..benchmarks.commscope.runner import CommScopeResults, run_commscope
+from ..benchmarks.osu.runner import (
+    PairKind,
+    device_latency_by_class,
+    latency_for_pair,
+)
+from ..errors import BenchmarkConfigError
+from ..hardware.topology import LinkClass
+from ..machines.base import Machine
+from ..sim.random import (
+    NOISE_BANDWIDTH,
+    NOISE_CPU_BANDWIDTH,
+    NOISE_LATENCY,
+    NOISE_LAUNCH,
+    NoiseModel,
+    RandomStreams,
+)
+from .results import Statistic
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs for one study pass."""
+
+    runs: int = 100
+    seed: int = 20230612
+    exact: bool = False
+    #: array size for the CPU BabelStream sweep (None = paper default)
+    cpu_array_bytes: int | None = None
+    #: array size for the device BabelStream run (None = paper's 1 GB)
+    gpu_array_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise BenchmarkConfigError(f"runs must be >= 1: {self.runs}")
+
+
+@dataclass(frozen=True)
+class CommScopeStats:
+    """Aggregated Comm|Scope quantities for one machine (Table 6 row)."""
+
+    launch: Statistic
+    wait: Statistic
+    hd_latency: Statistic
+    hd_bandwidth: Statistic
+    d2d_latency: dict[LinkClass, Statistic] = field(default_factory=dict)
+
+
+class Study:
+    """Runs the paper's measurement protocol on simulated machines."""
+
+    def __init__(self, config: StudyConfig | None = None) -> None:
+        self.config = config or StudyConfig()
+        self.streams = RandomStreams(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _samples(
+        self, base: float, noise: NoiseModel, *path: str
+    ) -> np.ndarray:
+        rng = self.streams.get(*path)
+        return noise.sample_many(rng, base, self.config.runs)
+
+    # ------------------------------------------------------------------
+    # BabelStream
+    # ------------------------------------------------------------------
+    def cpu_bandwidth(self, machine: Machine, single_thread: bool) -> Statistic:
+        """Table 4 "Single"/"All" cell: best over Table 1 configs x ops."""
+        if self.config.exact:
+            best = best_cpu_bandwidth(
+                machine,
+                single_thread,
+                array_bytes=self.config.cpu_array_bytes,
+                runs=self.config.runs,
+                streams=self.streams,
+            )
+            return Statistic.from_samples(best.samples)
+        best = best_cpu_bandwidth(
+            machine, single_thread,
+            array_bytes=self.config.cpu_array_bytes, runs=1,
+            streams=RandomStreams(0), deterministic=True,
+        )
+        base = float(best.samples[0])
+        label = "single" if single_thread else "all"
+        return Statistic.from_samples(
+            self._samples(base, NOISE_CPU_BANDWIDTH,
+                          machine.name, "babelstream-cpu", label)
+        )
+
+    def gpu_bandwidth(self, machine: Machine) -> Statistic:
+        """Table 5 "Device" cell: best over ops at the 1 GB size."""
+        size = self.config.gpu_array_bytes or default_gpu_size()
+        if self.config.exact:
+            best = best_gpu_bandwidth(
+                machine, array_bytes=size, runs=self.config.runs,
+                streams=self.streams,
+            )
+            return Statistic.from_samples(best.samples)
+        best = best_gpu_bandwidth(
+            machine, array_bytes=size, runs=1,
+            streams=RandomStreams(0), deterministic=True,
+        )
+        return Statistic.from_samples(
+            self._samples(float(best.samples[0]), NOISE_BANDWIDTH,
+                          machine.name, "babelstream-gpu")
+        )
+
+    # ------------------------------------------------------------------
+    # OSU latency
+    # ------------------------------------------------------------------
+    def host_latency(self, machine: Machine, kind: PairKind) -> Statistic:
+        """Table 4 on-socket/on-node or Table 5 host-to-host cell."""
+        if self.config.exact:
+            rng = self.streams.get(machine.name, "osu", kind.value)
+            samples = [
+                latency_for_pair(machine, kind, rng=rng).latency
+                for _ in range(self.config.runs)
+            ]
+            return Statistic.from_samples(samples)
+        base = latency_for_pair(machine, kind).latency
+        return Statistic.from_samples(
+            self._samples(base, NOISE_LATENCY, machine.name, "osu", kind.value)
+        )
+
+    def device_latency(self, machine: Machine) -> dict[LinkClass, Statistic]:
+        """Table 5 device-to-device cells, one per link class."""
+        if self.config.exact:
+            rng = self.streams.get(machine.name, "osu", "device")
+            acc: dict[LinkClass, list[float]] = {}
+            for _ in range(self.config.runs):
+                for cls, res in device_latency_by_class(machine, rng=rng).items():
+                    acc.setdefault(cls, []).append(res.latency)
+            return {
+                cls: Statistic.from_samples(v) for cls, v in acc.items()
+            }
+        bases = device_latency_by_class(machine)
+        return {
+            cls: Statistic.from_samples(
+                self._samples(res.latency, NOISE_LATENCY,
+                              machine.name, "osu", "device", cls.value)
+            )
+            for cls, res in bases.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Comm|Scope
+    # ------------------------------------------------------------------
+    def commscope(self, machine: Machine) -> CommScopeStats:
+        """Table 6 row for one machine."""
+        if self.config.exact:
+            rng = self.streams.get(machine.name, "commscope")
+            results = [
+                run_commscope(machine, rng=rng) for _ in range(self.config.runs)
+            ]
+            return self._aggregate_commscope(results)
+        base = run_commscope(machine)
+        name = machine.name
+
+        def stat(value: float, noise: NoiseModel, *path: str) -> Statistic:
+            return Statistic.from_samples(self._samples(value, noise, *path))
+
+        return CommScopeStats(
+            launch=stat(base.launch, NOISE_LAUNCH, name, "cs", "launch"),
+            wait=stat(base.wait, NOISE_LAUNCH, name, "cs", "wait"),
+            hd_latency=stat(base.hd_latency, NOISE_LATENCY, name, "cs", "hdlat"),
+            hd_bandwidth=stat(base.hd_bandwidth, NOISE_BANDWIDTH, name, "cs", "hdbw"),
+            d2d_latency={
+                cls: stat(v, NOISE_LATENCY, name, "cs", "d2d", cls.value)
+                for cls, v in base.d2d_latency.items()
+            },
+        )
+
+    @staticmethod
+    def _aggregate_commscope(results: list[CommScopeResults]) -> CommScopeStats:
+        classes = results[0].d2d_latency.keys()
+        return CommScopeStats(
+            launch=Statistic.from_samples([r.launch for r in results]),
+            wait=Statistic.from_samples([r.wait for r in results]),
+            hd_latency=Statistic.from_samples([r.hd_latency for r in results]),
+            hd_bandwidth=Statistic.from_samples([r.hd_bandwidth for r in results]),
+            d2d_latency={
+                cls: Statistic.from_samples(
+                    [r.d2d_latency[cls] for r in results]
+                )
+                for cls in classes
+            },
+        )

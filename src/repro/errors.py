@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this library with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class UnitParseError(ReproError, ValueError):
+    """A quantity string (e.g. ``"128MB"``) could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """Generic failure inside the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+
+class HardwareConfigError(ReproError, ValueError):
+    """An inconsistent or impossible hardware description was supplied."""
+
+
+class TopologyError(HardwareConfigError):
+    """A topology query failed (no route, unknown endpoint, bad class)."""
+
+
+class UnknownMachineError(ReproError, KeyError):
+    """A machine name or Top500 rank is not present in the registry."""
+
+
+class PlacementError(ReproError, ValueError):
+    """A process/thread/rank could not be placed on the requested resource."""
+
+
+class OpenMPConfigError(ReproError, ValueError):
+    """Invalid OpenMP environment configuration (places/bind parsing)."""
+
+
+class GpuRuntimeError(ReproError, RuntimeError):
+    """An error raised by the simulated CUDA/HIP-like device runtime."""
+
+
+class InvalidStreamError(GpuRuntimeError):
+    """Operation issued on a destroyed or foreign stream."""
+
+
+class PinnedMemoryError(GpuRuntimeError):
+    """A host buffer involved in an async copy was not page-locked."""
+
+
+class MpiSimError(ReproError, RuntimeError):
+    """An error raised by the simulated MPI layer."""
+
+
+class BenchmarkConfigError(ReproError, ValueError):
+    """A benchmark was configured with invalid parameters."""

@@ -1,0 +1,44 @@
+"""Simulated GPU runtime (CUDA/HIP-flavoured).
+
+The runtime exposes the handful of primitives Comm|Scope and the
+BabelStream device backend need, with the same semantics as the real
+APIs:
+
+* devices with command streams (in-order queues drained by a simulated
+  command processor);
+* asynchronous kernel launches, whose *host-side* cost is the launch
+  latency Comm|Scope's ``Comm_cudart_kernel`` test measures;
+* ``device_synchronize`` with an empty-queue fast path (the
+  ``Comm_cudaDeviceSynchronize`` test);
+* asynchronous memcpy executed by DMA engines over the node topology,
+  requiring page-locked host buffers (as Comm|Scope ensures).
+
+Host code runs as simulation processes; every API entry point is a
+generator to be ``yield from``-ed inside one.
+"""
+
+from .buffers import Buffer, DeviceBuffer, HostBuffer
+from .kernel import KernelSpec, EMPTY_KERNEL, stream_kernel
+from .memcpy import CopyKind, CopyPlan, plan_copy
+from .stream import Command, CopyCommand, KernelCommand, Stream
+from .events import DeviceEvent
+from .api import DeviceRuntime, Device
+
+__all__ = [
+    "Buffer",
+    "DeviceBuffer",
+    "HostBuffer",
+    "KernelSpec",
+    "EMPTY_KERNEL",
+    "stream_kernel",
+    "CopyKind",
+    "CopyPlan",
+    "plan_copy",
+    "Command",
+    "CopyCommand",
+    "KernelCommand",
+    "Stream",
+    "DeviceEvent",
+    "DeviceRuntime",
+    "Device",
+]

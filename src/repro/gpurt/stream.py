@@ -1,0 +1,142 @@
+"""Device command streams.
+
+A :class:`Stream` is an in-order command queue drained by a command
+processor (a simulation process).  Kernel commands execute on the
+device; copy commands occupy one of the device's DMA engines for the
+plan's duration.  Each command carries a completion event the host can
+wait on (``stream_synchronize`` / ``device_synchronize``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from ..errors import GpuRuntimeError, InvalidStreamError
+from ..sim.engine import Environment, Event
+from ..sim.resources import Resource, Store
+from .kernel import KernelSpec
+from .memcpy import CopyPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Device
+
+_stream_ids = itertools.count()
+
+
+@dataclass
+class Command:
+    """Base class for queued device work."""
+
+    completion: Event
+
+    def execute(self, device: "Device") -> Generator:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class KernelCommand(Command):
+    kernel: KernelSpec = field(default=None)  # type: ignore[assignment]
+
+    def execute(self, device: "Device") -> Generator:
+        yield device.env.timeout(self.kernel.duration_on(device))
+        device.trace.record(
+            device.env.now, "kernel", f"{self.kernel.name}.end", device=device.index
+        )
+
+
+@dataclass
+class CopyCommand(Command):
+    plan: CopyPlan = field(default=None)  # type: ignore[assignment]
+    nbytes: int = 0
+
+    def execute(self, device: "Device") -> Generator:
+        req = device.dma_engines.request()
+        yield req
+        try:
+            yield device.env.timeout(self.plan.duration(self.nbytes))
+        finally:
+            device.dma_engines.release(req)
+        device.trace.record(
+            device.env.now,
+            "dma",
+            f"{self.plan.kind.value}.end",
+            device=device.index,
+            nbytes=self.nbytes,
+            route=self.plan.route,
+        )
+
+
+class Stream:
+    """One in-order command queue on a device."""
+
+    def __init__(self, device: "Device") -> None:
+        self.device = device
+        self.env: Environment = device.env
+        self.stream_id = next(_stream_ids)
+        self._queue: Store = Store(self.env)
+        self._inflight = 0
+        self._idle_event: Event | None = None
+        self._destroyed = False
+        self._processor = self.env.process(
+            self._drain(), name=f"stream{self.stream_id}-processor"
+        )
+
+    # -- host-facing -----------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._inflight > 0 or len(self._queue) > 0
+
+    def enqueue(self, command: Command) -> Command:
+        if self._destroyed:
+            raise InvalidStreamError(f"stream {self.stream_id} was destroyed")
+        self._inflight += 1
+        self._queue.put(command)
+        return command
+
+    def idle(self) -> Event:
+        """An event that triggers when the queue has fully drained.
+
+        Triggers immediately if the stream is already idle.
+        """
+        ev = self.env.event()
+        if not self.busy:
+            ev.succeed()
+            return ev
+        if self._idle_event is not None and self._idle_event.callbacks is not None:
+            # piggyback on the existing waiter
+            existing = self._idle_event
+            existing.callbacks.append(lambda _e: ev.succeed())
+            return ev
+        self._idle_event = ev
+        return ev
+
+    def destroy(self) -> None:
+        if self.busy:
+            raise GpuRuntimeError(
+                f"destroying stream {self.stream_id} with work in flight"
+            )
+        self._destroyed = True
+
+    # -- device-side -------------------------------------------------------
+    def _drain(self) -> Generator:
+        while True:
+            get = self._queue.get()
+            command: Command = yield get
+            try:
+                yield self.env.process(
+                    command.execute(self.device),
+                    name=f"stream{self.stream_id}-cmd",
+                )
+            except Exception as exc:  # surface device faults to waiters
+                command.completion.fail(GpuRuntimeError(str(exc)))
+                self._inflight -= 1
+                continue
+            command.completion.succeed(self.env.now)
+            self._inflight -= 1
+            if self._inflight == 0 and len(self._queue) == 0:
+                if self._idle_event is not None:
+                    ev, self._idle_event = self._idle_event, None
+                    if ev.callbacks is not None:
+                        ev.succeed()

@@ -1,0 +1,38 @@
+"""Hardware component models.
+
+This package describes *what the machines are*: CPU sockets, memory
+technologies, GPUs, the links between them, and the assembled node with
+its topology graph.  Performance *behaviour* lives elsewhere
+(:mod:`repro.memsys`, :mod:`repro.gpurt`, :mod:`repro.mpisim`); the specs
+here are pure data derived from public vendor documentation.
+"""
+
+from .links import LinkKind, LinkSpec, LinkInstance, LINK_CATALOG
+from .memory import MemoryKind, MemorySpec, MemoryMode
+from .cpu import CpuSpec, CpuVendor
+from .gpu import GpuSpec, GpuVendor, GpuFamily
+from .numa import NumaDomain, NumaLayout
+from .node import NodeSpec, HardwareThread
+from .topology import Topology, LinkClass, PairClassification
+
+__all__ = [
+    "LinkKind",
+    "LinkSpec",
+    "LinkInstance",
+    "LINK_CATALOG",
+    "MemoryKind",
+    "MemorySpec",
+    "MemoryMode",
+    "CpuSpec",
+    "CpuVendor",
+    "GpuSpec",
+    "GpuVendor",
+    "GpuFamily",
+    "NumaDomain",
+    "NumaLayout",
+    "NodeSpec",
+    "HardwareThread",
+    "Topology",
+    "LinkClass",
+    "PairClassification",
+]

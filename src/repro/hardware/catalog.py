@@ -1,0 +1,141 @@
+"""Concrete CPU component catalog for the machines in the paper.
+
+Channel counts, DIMM speeds and core counts come from Intel ARK
+[12, 13], the Top500 entries [17], and the KNL architecture paper [34].
+Idle memory latencies are typical published loaded-latency figures for
+each platform class; they combine with the concurrency model in
+:mod:`repro.memsys.stream_model` to yield single-thread bandwidth.
+"""
+
+from __future__ import annotations
+
+from .cpu import CpuSpec, CpuVendor
+from .memory import MemoryMode, ddr4, mcdram
+
+
+def xeon_phi_7250() -> CpuSpec:
+    """Intel Xeon Phi 7250 "Knights Landing" (Trinity): 68 cores @ 1.4 GHz.
+
+    MCDRAM in quad-cache mode in front of 6-channel DDR4-2400.  The mesh
+    is 38 active tiles on a 6x7-ish grid; we model the documented 7x6
+    layout with 34 compute tiles active (68 cores / 2 per tile).
+    """
+    return CpuSpec(
+        model="Xeon Phi 7250",
+        vendor=CpuVendor.INTEL,
+        cores=68,
+        smt=4,
+        base_clock_ghz=1.4,
+        memory=mcdram(16, 485.0, idle_latency_ns=155.0),
+        far_memory=ddr4(6, 2400, 96, idle_latency_ns=130.0),
+        memory_mode=MemoryMode.CACHE,
+        is_manycore=True,
+        mesh_shape=(6, 6),
+    )
+
+
+def xeon_phi_7230() -> CpuSpec:
+    """Intel Xeon Phi 7230 (Theta): 64 cores @ 1.3 GHz, same memory system."""
+    return CpuSpec(
+        model="Xeon Phi 7230",
+        vendor=CpuVendor.INTEL,
+        cores=64,
+        smt=4,
+        base_clock_ghz=1.3,
+        memory=mcdram(16, 485.0, idle_latency_ns=130.0),
+        far_memory=ddr4(6, 2400, 192, idle_latency_ns=128.0),
+        memory_mode=MemoryMode.CACHE,
+        is_manycore=True,
+        mesh_shape=(6, 6),
+    )
+
+
+def xeon_platinum_8268(idle_latency_ns: float) -> CpuSpec:
+    """Intel Xeon Platinum 8268 (Sawtooth, Manzano): 24 cores, DDR4-2933.
+
+    Per-socket peak: 6 ch x 8 B x 2.933 GT/s = 140.75 GB/s; the paper's
+    two-socket "Peak" is 281.50 GB/s [13].
+    """
+    return CpuSpec(
+        model="Xeon Platinum 8268",
+        vendor=CpuVendor.INTEL,
+        cores=24,
+        smt=2,
+        base_clock_ghz=2.9,
+        memory=ddr4(6, 2933, 192, idle_latency_ns=idle_latency_ns),
+    )
+
+
+def xeon_gold_6154(idle_latency_ns: float = 95.2) -> CpuSpec:
+    """Intel Xeon Gold 6154 (Eagle): 18 cores, DDR4-2666.
+
+    Per-socket peak: 127.99 GB/s; two-socket 255.97 GB/s [12].
+    """
+    return CpuSpec(
+        model="Xeon Gold 6154",
+        vendor=CpuVendor.INTEL,
+        cores=18,
+        smt=2,
+        base_clock_ghz=3.0,
+        memory=ddr4(6, 2666, 96, idle_latency_ns=idle_latency_ns),
+    )
+
+
+def epyc_trento_7a53() -> CpuSpec:
+    """AMD EPYC 7A53 "Trento" (Frontier-class): 64 cores, DDR4-3200."""
+    return CpuSpec(
+        model="EPYC 7A53",
+        vendor=CpuVendor.AMD,
+        cores=64,
+        smt=2,
+        base_clock_ghz=2.0,
+        memory=ddr4(8, 3200, 512, idle_latency_ns=105.0),
+    )
+
+
+def epyc_7763() -> CpuSpec:
+    """AMD EPYC 7763 "Milan" (Perlmutter): 64 cores, DDR4-3200."""
+    return CpuSpec(
+        model="EPYC 7763",
+        vendor=CpuVendor.AMD,
+        cores=64,
+        smt=2,
+        base_clock_ghz=2.45,
+        memory=ddr4(8, 3200, 256, idle_latency_ns=105.0),
+    )
+
+
+def epyc_7532() -> CpuSpec:
+    """AMD EPYC 7532 "Rome" (Polaris): 32 cores, DDR4-3200."""
+    return CpuSpec(
+        model="EPYC 7532",
+        vendor=CpuVendor.AMD,
+        cores=32,
+        smt=2,
+        base_clock_ghz=2.4,
+        memory=ddr4(8, 3200, 512, idle_latency_ns=110.0),
+    )
+
+
+def power9_22c() -> CpuSpec:
+    """IBM Power9 (Summit): 22 cores, 8 channels DDR4 behind Centaur buffers."""
+    return CpuSpec(
+        model="POWER9",
+        vendor=CpuVendor.IBM,
+        cores=22,
+        smt=4,
+        base_clock_ghz=3.07,
+        memory=ddr4(8, 2666, 256, idle_latency_ns=120.0),
+    )
+
+
+def power9_20c() -> CpuSpec:
+    """IBM Power9 (Sierra / Lassen): 20 usable cores per socket."""
+    return CpuSpec(
+        model="POWER9",
+        vendor=CpuVendor.IBM,
+        cores=20,
+        smt=4,
+        base_clock_ghz=3.1,
+        memory=ddr4(8, 2666, 128, idle_latency_ns=120.0),
+    )

@@ -1,0 +1,157 @@
+"""Assembled node model.
+
+A :class:`NodeSpec` is the complete intra-node hardware description: CPU
+sockets, accelerators, the NUMA layout, and the interconnect topology.
+It also enumerates *hardware threads* the way Linux does (core-major:
+hwthread ``i`` for ``i < ncores`` is SMT sibling 0 of core ``i``), which
+is what the OpenMP binding model places threads onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HardwareConfigError
+from .cpu import CpuSpec
+from .gpu import GpuSpec
+from .numa import NumaLayout, per_socket, single_domain
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class HardwareThread:
+    """One schedulable hardware thread (a Linux "CPU")."""
+
+    os_id: int
+    core: int       # global core id
+    sibling: int    # SMT sibling index within the core
+    socket: int
+
+
+@dataclass
+class NodeSpec:
+    """One compute node."""
+
+    name: str
+    sockets: list[CpuSpec]
+    gpus: list[GpuSpec] = field(default_factory=list)
+    topology: Topology = field(default_factory=Topology)
+    numa: NumaLayout | None = None
+
+    def __post_init__(self) -> None:
+        if not self.sockets:
+            raise HardwareConfigError(f"node {self.name} has no CPU sockets")
+        models = {s.model for s in self.sockets}
+        if len(models) != 1:
+            raise HardwareConfigError(
+                f"node {self.name} mixes CPU models: {sorted(models)}"
+            )
+        if self.numa is None:
+            cpu = self.sockets[0]
+            if cpu.is_manycore:
+                # KNL quad mode: one NUMA domain for the whole chip.
+                self.numa = single_domain(cpu.cores)
+            else:
+                self.numa = per_socket(len(self.sockets), cpu.cores)
+
+    # ------------------------------------------------------------------
+    # CPU geometry
+    # ------------------------------------------------------------------
+    @property
+    def cpu(self) -> CpuSpec:
+        """The socket spec (all sockets are identical)."""
+        return self.sockets[0]
+
+    @property
+    def n_sockets(self) -> int:
+        return len(self.sockets)
+
+    @property
+    def total_cores(self) -> int:
+        return self.cpu.cores * self.n_sockets
+
+    @property
+    def total_hardware_threads(self) -> int:
+        return self.total_cores * self.cpu.smt
+
+    def socket_of_core(self, core: int) -> int:
+        if not 0 <= core < self.total_cores:
+            raise HardwareConfigError(
+                f"core {core} out of range on {self.name} ({self.total_cores} cores)"
+            )
+        return core // self.cpu.cores
+
+    def hardware_threads(self) -> list[HardwareThread]:
+        """Enumerate hardware threads Linux-style (all sibling-0 first)."""
+        out = []
+        ncores = self.total_cores
+        for sib in range(self.cpu.smt):
+            for core in range(ncores):
+                out.append(
+                    HardwareThread(
+                        os_id=sib * ncores + core,
+                        core=core,
+                        sibling=sib,
+                        socket=self.socket_of_core(core),
+                    )
+                )
+        return out
+
+    def hardware_thread(self, os_id: int) -> HardwareThread:
+        total = self.total_hardware_threads
+        if not 0 <= os_id < total:
+            raise HardwareConfigError(
+                f"hwthread {os_id} out of range on {self.name} ({total} threads)"
+            )
+        ncores = self.total_cores
+        return HardwareThread(
+            os_id=os_id,
+            core=os_id % ncores,
+            sibling=os_id // ncores,
+            socket=self.socket_of_core(os_id % ncores),
+        )
+
+    # ------------------------------------------------------------------
+    # accelerators
+    # ------------------------------------------------------------------
+    @property
+    def has_gpus(self) -> bool:
+        return bool(self.gpus)
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    def gpu_names(self) -> list[str]:
+        """Topology component names of the GPUs, in device order."""
+        return self.topology.gpus()
+
+    def gpu_spec(self, device: int) -> GpuSpec:
+        if not 0 <= device < self.n_gpus:
+            raise HardwareConfigError(
+                f"device {device} out of range on {self.name} ({self.n_gpus} GPUs)"
+            )
+        return self.gpus[device]
+
+    # ------------------------------------------------------------------
+    # aggregate memory
+    # ------------------------------------------------------------------
+    @property
+    def host_peak_bandwidth(self) -> float:
+        """Aggregate near-memory peak bandwidth across sockets, bytes/s."""
+        return sum(s.memory.peak_bandwidth for s in self.sockets)
+
+    def validate(self) -> None:
+        """Consistency checks between topology and declared devices."""
+        topo_gpus = self.topology.gpus()
+        if len(topo_gpus) != self.n_gpus:
+            raise HardwareConfigError(
+                f"node {self.name}: topology has {len(topo_gpus)} GPUs, "
+                f"spec declares {self.n_gpus}"
+            )
+        topo_cpus = self.topology.cpus()
+        if self.has_gpus and len(topo_cpus) != self.n_sockets:
+            raise HardwareConfigError(
+                f"node {self.name}: topology has {len(topo_cpus)} CPU sockets, "
+                f"spec declares {self.n_sockets}"
+            )

@@ -1,0 +1,250 @@
+"""Node topology graph and GPU-pair link classification.
+
+The paper groups device-to-device measurements into classes:
+
+* Summit / Sierra / Lassen — **A**: GPUs directly connected by NVLink,
+  **B**: otherwise (the transfer is staged across the socket fabric).
+* Frontier / RZVernal / Tioga — **A/B/C**: GCD pairs joined by quad-,
+  dual- or single Infinity Fabric links, **D**: no direct connection.
+* Perlmutter / Polaris — all four GPUs are equally connected (single
+  class, reported under A).
+
+:class:`Topology` wraps a :mod:`networkx` multigraph of node components
+(CPU sockets, GPUs, host bridges) whose edges carry
+:class:`~repro.hardware.links.LinkInstance` payloads, and implements the
+classification and the path routing the DMA/MPI models use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from ..errors import TopologyError
+from .links import LinkInstance, LinkKind
+
+
+class ComponentKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+    BRIDGE = "bridge"   # PCIe switch / host bridge
+
+
+class LinkClass(enum.Enum):
+    """The paper's device-pair classes (Tables 5 and 6 column heads)."""
+
+    A = "A"
+    B = "B"
+    C = "C"
+    D = "D"
+
+
+@dataclass(frozen=True)
+class PairClassification:
+    """Result of classifying a GPU pair."""
+
+    link_class: LinkClass
+    description: str
+    #: the direct link if one exists, else None
+    direct: Optional[LinkInstance]
+    #: component path used when staging is required (includes endpoints)
+    route: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Component:
+    name: str
+    kind: ComponentKind
+    #: socket index this component belongs to / attaches to
+    socket: int
+    #: arbitrary extra attributes (e.g. gpu index, package id)
+    attrs: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+class Topology:
+    """The intra-node interconnect graph."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._components: dict[str, Component] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_component(
+        self, name: str, kind: ComponentKind, socket: int = 0, **attrs
+    ) -> Component:
+        if name in self._components:
+            raise TopologyError(f"duplicate component name: {name}")
+        comp = Component(name, kind, socket, attrs)
+        self._components[name] = comp
+        self._graph.add_node(name, component=comp)
+        return comp
+
+    def connect(self, a: str, b: str, link: LinkInstance) -> None:
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise TopologyError(f"self-link on {a}")
+        if self._graph.has_edge(a, b):
+            raise TopologyError(f"duplicate link {a} <-> {b}")
+        self._graph.add_edge(a, b, link=link)
+
+    def _require(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise TopologyError(f"unknown component: {name}") from None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> dict[str, Component]:
+        return dict(self._components)
+
+    def component(self, name: str) -> Component:
+        return self._require(name)
+
+    def gpus(self) -> list[str]:
+        return sorted(
+            (n for n, c in self._components.items() if c.kind == ComponentKind.GPU),
+            key=lambda n: self._components[n].attrs.get("index", 0),
+        )
+
+    def cpus(self) -> list[str]:
+        return sorted(
+            (n for n, c in self._components.items() if c.kind == ComponentKind.CPU),
+            key=lambda n: self._components[n].socket,
+        )
+
+    def direct_link(self, a: str, b: str) -> Optional[LinkInstance]:
+        self._require(a)
+        self._require(b)
+        data = self._graph.get_edge_data(a, b)
+        return data["link"] if data else None
+
+    def neighbors(self, name: str) -> list[tuple[str, LinkInstance]]:
+        self._require(name)
+        return [
+            (other, self._graph.edges[name, other]["link"])
+            for other in self._graph.neighbors(name)
+        ]
+
+    def links_between(self, names: Iterable[str]) -> list[LinkInstance]:
+        """Links along a component path given as consecutive names."""
+        names = list(names)
+        out = []
+        for a, b in zip(names, names[1:]):
+            data = self._graph.get_edge_data(a, b)
+            if data is None:
+                raise TopologyError(f"no link between {a} and {b} on path")
+            out.append(data["link"])
+        return out
+
+    def route(self, src: str, dst: str) -> tuple[str, ...]:
+        """Lowest-latency component path from ``src`` to ``dst``."""
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            return (src,)
+        try:
+            path = nx.shortest_path(
+                self._graph, src, dst, weight=lambda u, v, d: d["link"].latency
+            )
+        except nx.NetworkXNoPath:
+            raise TopologyError(f"no route from {src} to {dst}") from None
+        return tuple(path)
+
+    def path_latency(self, path: Iterable[str]) -> float:
+        """Sum of hardware link latencies along a component path."""
+        return sum(l.latency for l in self.links_between(path))
+
+    def path_bandwidth(self, path: Iterable[str]) -> float:
+        """Bottleneck per-direction bandwidth along a component path."""
+        links = self.links_between(path)
+        if not links:
+            raise TopologyError("path has no links")
+        return min(l.bandwidth_per_dir for l in links)
+
+    # ------------------------------------------------------------------
+    # the paper's A/B/C/D classification
+    # ------------------------------------------------------------------
+    def classify_gpu_pair(self, a: str, b: str) -> PairClassification:
+        """Classify a device pair into the paper's link classes.
+
+        Rules (matching Tables 5/6 and Appendix A):
+
+        * direct NVLink of any width → **A**;
+        * direct xGMI: count 4 → **A**, 2 → **B**, 1 → **C**;
+        * no direct GPU-GPU link: AMD nodes → **D** (staged through a
+          peer GCD or the fabric), NVIDIA nodes → **B** (staged through
+          the host / socket fabric);
+        * PCIe-attached peer GPUs with no NVLink → **B**.
+        """
+        ca, cb = self._require(a), self._require(b)
+        if ca.kind != ComponentKind.GPU or cb.kind != ComponentKind.GPU:
+            raise TopologyError(f"classify_gpu_pair needs two GPUs: {a}, {b}")
+        if a == b:
+            raise TopologyError("cannot classify a device against itself")
+        direct = self.direct_link(a, b)
+        route = self.route(a, b)
+        if direct is not None:
+            if direct.kind in (LinkKind.NVLINK2, LinkKind.NVLINK3):
+                return PairClassification(
+                    LinkClass.A, f"direct {direct.describe()}", direct, route
+                )
+            if direct.kind == LinkKind.XGMI_GPU:
+                cls = {4: LinkClass.A, 2: LinkClass.B, 1: LinkClass.C}.get(direct.count)
+                if cls is None:
+                    raise TopologyError(
+                        f"unexpected xGMI width {direct.count} between {a} and {b}"
+                    )
+                return PairClassification(
+                    cls, f"direct {direct.describe()}", direct, route
+                )
+            if direct.kind in (LinkKind.PCIE3, LinkKind.PCIE4):
+                return PairClassification(
+                    LinkClass.B, f"direct {direct.describe()}", direct, route
+                )
+            raise TopologyError(
+                f"unclassifiable direct link {direct.kind} between {a} and {b}"
+            )
+        # No direct link: staged transfer.
+        vendor_amd = "amd" in str(ca.attrs.get("vendor", "")).lower()
+        cls = LinkClass.D if vendor_amd else LinkClass.B
+        via = " via ".join(route[1:-1]) or "fabric"
+        return PairClassification(cls, f"staged via {via}", None, route)
+
+    def gpu_pair_classes(self) -> dict[LinkClass, list[tuple[str, str]]]:
+        """All unordered GPU pairs grouped by link class."""
+        out: dict[LinkClass, list[tuple[str, str]]] = {}
+        gpus = self.gpus()
+        for i, a in enumerate(gpus):
+            for b in gpus[i + 1:]:
+                cls = self.classify_gpu_pair(a, b).link_class
+                out.setdefault(cls, []).append((a, b))
+        return out
+
+    def representative_pairs(self) -> dict[LinkClass, tuple[str, str]]:
+        """One canonical pair per class (lowest device indices)."""
+        groups = self.gpu_pair_classes()
+        return {cls: sorted(pairs)[0] for cls, pairs in sorted(
+            groups.items(), key=lambda kv: kv[0].value
+        )}
+
+    def host_of_gpu(self, gpu: str) -> str:
+        """The CPU socket component a GPU attaches to (its home socket)."""
+        comp = self._require(gpu)
+        if comp.kind != ComponentKind.GPU:
+            raise TopologyError(f"{gpu} is not a GPU")
+        cpus = self.cpus()
+        if not cpus:
+            raise TopologyError("node has no CPU components")
+        for cpu in cpus:
+            if self._components[cpu].socket == comp.socket:
+                return cpu
+        return cpus[0]

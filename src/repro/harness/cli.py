@@ -1,0 +1,256 @@
+"""Command-line harness: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table4          # Table 4 (CPU systems)
+    python -m repro table5 table6   # several at once
+    python -m repro figure1         # Frontier node diagram
+    python -m repro compare         # paper-vs-measured for every cell
+    python -m repro report          # the full markdown report
+    python -m repro all             # everything
+    python -m repro --runs 20 table6   # faster, fewer executions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.figures import FIGURE_MACHINES, figure_for, render_node_ascii
+from ..core.report import full_report, inventory_section
+from ..core.study import Study, StudyConfig
+from ..core.summary import build_table7, render_table7
+from ..core.tables import (
+    build_table4,
+    build_table5,
+    build_table6,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from ..machines.registry import cpu_machines, gpu_machines
+from ..openmp.env import table1_configurations
+from .compare import (
+    compare_table4,
+    compare_table5,
+    compare_table6,
+    render_comparison,
+)
+
+TARGETS = (
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "table8", "table9", "figure1", "figure2", "figure3",
+    "compare", "report", "sweeps", "internode", "artifacts", "check", "all",
+)
+
+
+def _print_table1() -> str:
+    lines = ["OMP_NUM_THREADS  OMP_PROC_BIND  OMP_PLACES"]
+    node = cpu_machines()[0].node
+    for env in table1_configurations(node):
+        n, b, p = env.describe()
+        n = {"1": "1", str(node.total_cores): "#cores",
+             str(node.total_hardware_threads): "#threads"}.get(n, n)
+        lines.append(f"{n:15s}  {b:13s}  {p}")
+    return "\n".join(lines)
+
+
+def _print_table2() -> str:
+    lines = ["Rank/Name       Location  CPU"]
+    for m in cpu_machines():
+        lines.append(f"{m.ranked_name():14s}  {m.location:8s}  {m.cpu_model}")
+    return "\n".join(lines)
+
+
+def _print_table3() -> str:
+    lines = ["Rank/Name       Location  CPU                  Accelerator"]
+    for m in gpu_machines():
+        lines.append(
+            f"{m.ranked_name():14s}  {m.location:8s}  {m.cpu_model:19s}  "
+            f"{m.accelerator_model}"
+        )
+    return "\n".join(lines)
+
+
+def _print_table8() -> str:
+    lines = ["Rank/Name       Compiler          MPI"]
+    for m in cpu_machines():
+        lines.append(
+            f"{m.ranked_name():14s}  {m.software.compiler:16s}  {m.software.mpi}"
+        )
+    return "\n".join(lines)
+
+
+def _print_table9() -> str:
+    lines = ["Rank/Name       Compiler         Device Library   MPI"]
+    for m in gpu_machines():
+        sw = m.software
+        lines.append(
+            f"{m.ranked_name():14s}  {sw.compiler:15s}  "
+            f"{sw.device_library:15s}  {sw.mpi}"
+        )
+    return "\n".join(lines)
+
+
+def run_target(target: str, study: Study) -> str:
+    """Produce the output text for one CLI target."""
+    if target == "table1":
+        return _print_table1()
+    if target == "table2":
+        return _print_table2()
+    if target == "table3":
+        return _print_table3()
+    if target == "table4":
+        return render_table4(build_table4(study))
+    if target == "table5":
+        return render_table5(build_table5(study))
+    if target == "table6":
+        return render_table6(build_table6(study))
+    if target == "table7":
+        return render_table7(
+            build_table7(build_table5(study), build_table6(study))
+        )
+    if target == "table8":
+        return _print_table8()
+    if target == "table9":
+        return _print_table9()
+    if target.startswith("figure"):
+        number = int(target.removeprefix("figure"))
+        return render_node_ascii(figure_for(number))
+    if target == "compare":
+        rows = (
+            compare_table4(build_table4(study))
+            + compare_table5(build_table5(study))
+            + compare_table6(build_table6(study))
+        )
+        return render_comparison(rows)
+    if target == "report":
+        return full_report(study)
+    if target == "sweeps":
+        return _print_sweeps()
+    if target == "internode":
+        return _print_internode()
+    if target == "check":
+        from .selfcheck import render_selfcheck, run_selfcheck
+
+        return render_selfcheck(run_selfcheck())
+    raise ValueError(f"unknown target: {target}")
+
+
+def _print_sweeps() -> str:
+    from ..core.curves import (
+        babelstream_cpu_curve,
+        babelstream_gpu_curve,
+        osu_latency_curve,
+        render_curve,
+    )
+    from ..machines.registry import get_machine
+
+    parts = []
+    for name in ("sawtooth", "trinity"):
+        machine = get_machine(name)
+        parts.append(render_curve(babelstream_cpu_curve(machine)))
+        parts.append(render_curve(osu_latency_curve(machine)))
+    for name in ("frontier", "summit"):
+        parts.append(render_curve(babelstream_gpu_curve(get_machine(name))))
+    return "\n\n".join(parts)
+
+
+def _print_internode() -> str:
+    """Future-work extension: inter-node latency/bandwidth per machine."""
+    from ..mpisim.transport import BufferKind
+    from ..netsim.cluster import Cluster, ClusterRankLocation
+    from ..units import to_gb_per_s, to_us
+
+    def pingpong(nbytes, buffer, iters=4):
+        def rank0(ctx):
+            t0 = ctx.env.now
+            for _ in range(iters):
+                yield from ctx.send(1, nbytes, buffer)
+                yield from ctx.recv(1)
+            return (ctx.env.now - t0) / (2 * iters)
+
+        def rank1(ctx):
+            for _ in range(iters):
+                yield from ctx.recv(0)
+                yield from ctx.send(0, nbytes, buffer)
+
+        return [rank0, rank1]
+
+    lines = [
+        "Inter-node extension (not a paper table; see DESIGN.md 3b)",
+        f"{'machine':12s} {'fabric':16s} {'lat (us)':>9s} {'bw (GB/s)':>10s}",
+    ]
+    for machine in cpu_machines() + gpu_machines():
+        cluster = Cluster(machine, 8)
+        pair = [
+            ClusterRankLocation(core=0, node=0),
+            ClusterRankLocation(core=0, node=4),
+        ]
+        lat = cluster.world(pair).run(pingpong(0, BufferKind.HOST))[0]
+        cluster.reset_network()
+        n = 16 << 20
+        t = cluster.world(pair).run(pingpong(n, BufferKind.HOST))[0]
+        lines.append(
+            f"{machine.name:12s} {cluster.fabric.name:16s} "
+            f"{to_us(lat):9.2f} {to_gb_per_s(n / t):10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="doe-microbench",
+        description="Regenerate the tables and figures of the SC-W'23 DOE "
+                    "microbenchmark paper on simulated hardware.",
+    )
+    parser.add_argument("targets", nargs="+", choices=TARGETS)
+    parser.add_argument(
+        "--runs", type=int, default=100,
+        help="binary executions per measurement (paper: 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20230612, help="root RNG seed"
+    )
+    parser.add_argument(
+        "--exact", action="store_true",
+        help="run every execution through the discrete-event simulator "
+             "instead of vectorising run-to-run jitter",
+    )
+    parser.add_argument(
+        "--output", type=str, default="",
+        help="write the (last) target's output to this file as well",
+    )
+    args = parser.parse_args(argv)
+
+    study = Study(StudyConfig(runs=args.runs, seed=args.seed, exact=args.exact))
+    targets = list(args.targets)
+    if "all" in targets:
+        targets = [
+            t for t in TARGETS if t not in ("all", "report", "artifacts")
+        ] + ["report"]
+
+    text = ""
+    wrote_bundle = False
+    for target in targets:
+        if target == "artifacts":
+            from .artifacts import write_artifacts
+
+            directory = args.output or "artifacts"
+            written = write_artifacts(directory, study)
+            wrote_bundle = True
+            print(f"==> artifacts ({len(written)} files under {directory})")
+            continue
+        text = run_target(target, study)
+        print(f"==> {target}")
+        print(text)
+        print()
+    if args.output and not wrote_bundle:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

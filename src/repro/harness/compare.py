@@ -1,0 +1,121 @@
+"""Paper-vs-measured comparison (the EXPERIMENTS.md engine).
+
+For every cell of Tables 4-6 this builds a :class:`ComparisonRow`
+holding the paper's value, the simulation's value and the relative
+error, and renders them as text/markdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.format import layout_table
+from ..analysis.metrics import relative_error
+from ..core.tables import Table4Row, Table5Row, Table6Row
+from .paper_values import PAPER_TABLE4, PAPER_TABLE5, PAPER_TABLE6
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One compared quantity."""
+
+    table: str
+    machine: str
+    metric: str
+    paper_mean: float
+    measured_mean: float
+
+    @property
+    def rel_error(self) -> float:
+        return relative_error(self.measured_mean, self.paper_mean)
+
+    def cells(self) -> list[str]:
+        return [
+            self.table,
+            self.machine,
+            self.metric,
+            f"{self.paper_mean:.2f}",
+            f"{self.measured_mean:.2f}",
+            f"{self.rel_error * 100:.1f}%",
+        ]
+
+
+def compare_table4(rows: list[Table4Row]) -> list[ComparisonRow]:
+    out = []
+    for row in rows:
+        ref = PAPER_TABLE4[row.machine]
+        for metric, stat in (
+            ("single GB/s", row.single),
+            ("all GB/s", row.all_threads),
+            ("on-socket us", row.on_socket),
+            ("on-node us", row.on_node),
+        ):
+            key = metric.split()[0].replace("-", "_")
+            out.append(
+                ComparisonRow("T4", row.machine, metric, ref[key][0], stat.mean)
+            )
+    return out
+
+
+def compare_table5(rows: list[Table5Row]) -> list[ComparisonRow]:
+    out = []
+    for row in rows:
+        ref = PAPER_TABLE5[row.machine]
+        out.append(
+            ComparisonRow("T5", row.machine, "device GB/s",
+                          ref["device_bw"][0], row.device_bw.mean)
+        )
+        out.append(
+            ComparisonRow("T5", row.machine, "host-host us",
+                          ref["host"][0], row.host_to_host.mean)
+        )
+        for cls, stat in sorted(
+            row.device_to_device.items(), key=lambda kv: kv[0].value
+        ):
+            if cls in ref["d2d"]:
+                out.append(
+                    ComparisonRow("T5", row.machine, f"d2d[{cls.value}] us",
+                                  ref["d2d"][cls][0], stat.mean)
+                )
+    return out
+
+
+def compare_table6(rows: list[Table6Row]) -> list[ComparisonRow]:
+    out = []
+    for row in rows:
+        ref = PAPER_TABLE6[row.machine]
+        for metric, key, stat in (
+            ("launch us", "launch", row.launch),
+            ("wait us", "wait", row.wait),
+            ("hd-lat us", "hd_lat", row.hd_latency),
+            ("hd-bw GB/s", "hd_bw", row.hd_bandwidth),
+        ):
+            out.append(
+                ComparisonRow("T6", row.machine, metric, ref[key][0], stat.mean)
+            )
+        for cls, stat in sorted(
+            row.d2d_latency.items(), key=lambda kv: kv[0].value
+        ):
+            if cls in ref["d2d"]:
+                out.append(
+                    ComparisonRow("T6", row.machine, f"d2d[{cls.value}] us",
+                                  ref["d2d"][cls][0], stat.mean)
+                )
+    return out
+
+
+def render_comparison(rows: list[ComparisonRow], markdown: bool = False) -> str:
+    headers = ["Table", "Machine", "Metric", "Paper", "Measured", "RelErr"]
+    cells = [r.cells() for r in rows]
+    if not markdown:
+        return layout_table(headers, cells)
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines += ["| " + " | ".join(c) + " |" for c in cells]
+    return "\n".join(lines)
+
+
+def worst_relative_error(rows: list[ComparisonRow]) -> ComparisonRow:
+    if not rows:
+        raise ValueError("no comparison rows")
+    return max(rows, key=lambda r: r.rel_error)

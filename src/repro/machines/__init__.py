@@ -1,0 +1,45 @@
+"""Machine registry: the 13 US DOE systems measured by the paper.
+
+Tables 2 and 3 of the paper list the systems; Tables 8 and 9 list their
+software environments.  Each machine here carries a full
+:class:`~repro.hardware.node.NodeSpec` (hardware), a
+:class:`~repro.machines.software.SoftwareEnvironment` and a
+:class:`~repro.machines.calibration.MachineCalibration` holding the
+model parameters (efficiencies and software-overhead constants) with
+provenance notes.
+"""
+
+from .base import Machine, MachineClass
+from .software import SoftwareEnvironment
+from .calibration import (
+    MachineCalibration,
+    CpuStreamCalibration,
+    MpiCalibration,
+    GpuRuntimeCalibration,
+    GpuMpiMode,
+)
+from .registry import (
+    get_machine,
+    machine_names,
+    cpu_machines,
+    gpu_machines,
+    all_machines,
+    by_rank,
+)
+
+__all__ = [
+    "Machine",
+    "MachineClass",
+    "SoftwareEnvironment",
+    "MachineCalibration",
+    "CpuStreamCalibration",
+    "MpiCalibration",
+    "GpuRuntimeCalibration",
+    "GpuMpiMode",
+    "get_machine",
+    "machine_names",
+    "cpu_machines",
+    "gpu_machines",
+    "all_machines",
+    "by_rank",
+]

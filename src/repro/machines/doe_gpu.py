@@ -1,0 +1,428 @@
+"""The eight accelerator DOE machines (paper Table 3) with node topologies.
+
+Topology sources: Frontier user guide [11] (Figure 1 of the paper; also
+RZVernal and Tioga), Summit user guide [16] (Figure 2; Sierra and Lassen
+with four GPUs instead of six), Perlmutter architecture docs [15]
+(Figure 3; Polaris similar).
+
+Calibration notes
+-----------------
+* ``stream_efficiency`` — BabelStream fraction of HBM vendor peak.  The
+  86-96 % range on NVIDIA parts and ~79-82 % per-GCD on MI250X is the
+  well-documented behaviour of these memory systems (cf. Deakin et al.
+  [23]); per-machine values differ with driver/compiler generations.
+* kernel launch / queue wait — driver-generation properties: CUDA 10/11
+  on POWER9 hosts costs 4-5 us per launch, CUDA 11.4/11.7 on EPYC hosts
+  1.8 us, ROCm 5.3 1.5 us, ROCm 5.6 ~2.15 us.  Queue-wait follows the
+  same grouping (paper section 4).
+* H2D/D2H — DMA latencies per runtime family; bandwidth efficiencies vs
+  the CPU-GPU link peak (NVLink2 bricks on the POWER9 machines: 2 bricks
+  on Summit = 50 GB/s peak, 3 bricks on Sierra/Lassen = 75 GB/s; PCIe4 on
+  the A100 machines; 36 GB/s Infinity Fabric on the MI250X machines).
+* ``d2d_base`` / ``d2d_class_extra`` — Comm|Scope peer-copy latency:
+  the base is the DMA command+completion cost of the fastest class, the
+  extras are the per-link-class increments.  Which pair belongs to which
+  class is decided by the topology, not by these constants.
+* ``gpu_pipeline_overhead`` vs ``GpuMpiMode.RMA`` — the CUDA systems'
+  MPI stages device buffers through the driver (10-18 us extra); the
+  Slingshot/cray-mpich MI250X systems do direct RMA on GPU memory, so
+  device MPI latency is essentially host latency (paper Table 5).
+
+The MI250X CPU attaches to each GCD directly in this model (on the real
+node the CPU's four Infinity Fabric links land on one GCD per package;
+the measured single H2D figure the paper reports is the average, which
+the direct-attach simplification reproduces).
+"""
+
+from __future__ import annotations
+
+from ..hardware import catalog
+from ..hardware.gpu import GpuSpec, a100_40gb, mi250x_gcd, v100
+from ..hardware.links import LinkKind, link
+from ..hardware.node import NodeSpec
+from ..hardware.topology import ComponentKind, LinkClass, Topology
+from ..units import us
+from .base import Machine
+from .calibration import (
+    GpuMpiMode,
+    GpuRuntimeCalibration,
+    MachineCalibration,
+    MpiCalibration,
+)
+from . import software as sw
+
+
+# ---------------------------------------------------------------------------
+# topology builders
+# ---------------------------------------------------------------------------
+
+def mi250x_node_topology() -> Topology:
+    """Frontier-class node: one EPYC socket, four MI250X packages (8 GCDs).
+
+    Infinity-fabric pattern (Figure 1): quad links inside each package,
+    dual links around the package ring, single links across the diagonals;
+    the remaining pairs have no direct connection (class D).
+    """
+    topo = Topology()
+    topo.add_component("cpu0", ComponentKind.CPU, socket=0)
+    for g in range(8):
+        topo.add_component(
+            f"gpu{g}", ComponentKind.GPU, socket=0,
+            index=g, vendor="amd", package=g // 2,
+        )
+        topo.connect("cpu0", f"gpu{g}", link(LinkKind.XGMI_CPU_GPU, 1))
+    quad = [(0, 1), (2, 3), (4, 5), (6, 7)]
+    dual = [(1, 2), (3, 4), (5, 6), (7, 0)]
+    single = [(0, 4), (1, 5), (2, 6), (3, 7)]
+    for a, b in quad:
+        topo.connect(f"gpu{a}", f"gpu{b}", link(LinkKind.XGMI_GPU, 4))
+    for a, b in dual:
+        topo.connect(f"gpu{a}", f"gpu{b}", link(LinkKind.XGMI_GPU, 2))
+    for a, b in single:
+        topo.connect(f"gpu{a}", f"gpu{b}", link(LinkKind.XGMI_GPU, 1))
+    return topo
+
+
+def summit_node_topology() -> Topology:
+    """Summit node: two POWER9 sockets, three V100s each (Figure 2).
+
+    Each V100 spends its six NVLink2 bricks as 2 to the CPU and 2 to each
+    same-socket peer; sockets join over the X-Bus.  Cross-socket GPU pairs
+    have no direct link (the paper's class B).
+    """
+    topo = Topology()
+    topo.add_component("cpu0", ComponentKind.CPU, socket=0)
+    topo.add_component("cpu1", ComponentKind.CPU, socket=1)
+    topo.connect("cpu0", "cpu1", link(LinkKind.XBUS, 1))
+    for g in range(6):
+        socket = 0 if g < 3 else 1
+        topo.add_component(
+            f"gpu{g}", ComponentKind.GPU, socket=socket, index=g, vendor="nvidia"
+        )
+        topo.connect(f"cpu{socket}", f"gpu{g}", link(LinkKind.NVLINK2, 2))
+    for trio in ((0, 1, 2), (3, 4, 5)):
+        for i, a in enumerate(trio):
+            for b in trio[i + 1:]:
+                topo.connect(f"gpu{a}", f"gpu{b}", link(LinkKind.NVLINK2, 2))
+    return topo
+
+
+def sierra_node_topology() -> Topology:
+    """Sierra / Lassen node: two POWER9 sockets, two V100s each.
+
+    With only two GPUs per socket, each V100's six bricks split 3 to the
+    CPU and 3 to its peer (hence the higher H2D bandwidth vs Summit).
+    """
+    topo = Topology()
+    topo.add_component("cpu0", ComponentKind.CPU, socket=0)
+    topo.add_component("cpu1", ComponentKind.CPU, socket=1)
+    topo.connect("cpu0", "cpu1", link(LinkKind.XBUS, 1))
+    for g in range(4):
+        socket = 0 if g < 2 else 1
+        topo.add_component(
+            f"gpu{g}", ComponentKind.GPU, socket=socket, index=g, vendor="nvidia"
+        )
+        topo.connect(f"cpu{socket}", f"gpu{g}", link(LinkKind.NVLINK2, 3))
+    topo.connect("gpu0", "gpu1", link(LinkKind.NVLINK2, 3))
+    topo.connect("gpu2", "gpu3", link(LinkKind.NVLINK2, 3))
+    return topo
+
+
+def a100_node_topology() -> Topology:
+    """Perlmutter / Polaris node: one EPYC socket, four A100s (Figure 3).
+
+    All GPU pairs are joined by 4 NVLink3 links (NV4); the CPU attaches
+    over PCIe 4.0.
+    """
+    topo = Topology()
+    topo.add_component("cpu0", ComponentKind.CPU, socket=0)
+    for g in range(4):
+        topo.add_component(
+            f"gpu{g}", ComponentKind.GPU, socket=0, index=g, vendor="nvidia"
+        )
+        topo.connect("cpu0", f"gpu{g}", link(LinkKind.PCIE4, 1))
+    for a in range(4):
+        for b in range(a + 1, 4):
+            topo.connect(f"gpu{a}", f"gpu{b}", link(LinkKind.NVLINK3, 4))
+    return topo
+
+
+def _gpu_node(name: str, cpus, gpu: GpuSpec, n_gpus: int, topo: Topology) -> NodeSpec:
+    return NodeSpec(name=name, sockets=list(cpus), gpus=[gpu] * n_gpus, topology=topo)
+
+
+# ---------------------------------------------------------------------------
+# machines
+# ---------------------------------------------------------------------------
+
+def build_frontier() -> Machine:
+    node = _gpu_node(
+        "frontier-node", [catalog.epyc_trento_7a53()], mi250x_gcd(), 8,
+        mi250x_node_topology(),
+    )
+    cal = MachineCalibration(
+        mpi=MpiCalibration(
+            sw_overhead=us(0.195),
+            gpu_mode=GpuMpiMode.RMA,
+            gpu_rma_exchange=us(0.05),
+        ),
+        gpu_runtime=GpuRuntimeCalibration(
+            launch_overhead=us(1.51),
+            sync_overhead=us(0.14),
+            h2d_latency=us(12.61),
+            d2h_latency=us(13.21),
+            h2d_bw_efficiency=0.6908,
+            d2d_base=us(12.02),
+            d2d_class_extra={
+                LinkClass.A: 0.0,
+                LinkClass.B: us(0.54),
+                LinkClass.C: us(0.66),
+                # staged through the quad-linked partner GCD: the extra
+                # in-package hop is effectively free on ROCm 5.3
+                LinkClass.D: 0.0,
+            },
+            stream_efficiency=0.8157,
+        ),
+        provenance="ROCm 5.3 runtime; Slingshot cray-mpich GPU RMA",
+    )
+    return Machine(
+        name="Frontier", rank=1, location="ORNL", node=node,
+        software=sw.FRONTIER_ENV, calibration=cal, peak_label="1600 [4]",
+    )
+
+
+def build_summit() -> Machine:
+    node = _gpu_node(
+        "summit-node", [catalog.power9_22c()] * 2, v100(16), 6,
+        summit_node_topology(),
+    )
+    cal = MachineCalibration(
+        mpi=MpiCalibration(
+            sw_overhead=us(0.14),
+            cross_socket_extra=us(0.15),
+            gpu_mode=GpuMpiMode.PIPELINE,
+            gpu_pipeline_overhead=us(17.76),
+            gpu_cross_fabric_extra=us(1.20),
+        ),
+        gpu_runtime=GpuRuntimeCalibration(
+            launch_overhead=us(4.84),
+            sync_overhead=us(4.31),
+            h2d_latency=us(7.52),
+            d2h_latency=us(8.12),
+            h2d_bw_efficiency=0.8976,
+            d2d_base=us(24.97),
+            d2d_class_extra={LinkClass.A: 0.0, LinkClass.B: us(2.47)},
+            stream_efficiency=0.8738,
+        ),
+        provenance="CUDA 11.0.3 on POWER9; spectrum-mpi pipelined GPU path",
+    )
+    return Machine(
+        name="Summit", rank=5, location="ORNL", node=node,
+        software=sw.SUMMIT_ENV, calibration=cal, peak_label="900 [1]",
+    )
+
+
+def build_sierra() -> Machine:
+    node = _gpu_node(
+        "sierra-node", [catalog.power9_20c()] * 2, v100(16), 4,
+        sierra_node_topology(),
+    )
+    cal = MachineCalibration(
+        mpi=MpiCalibration(
+            sw_overhead=us(0.16),
+            cross_socket_extra=us(0.15),
+            gpu_mode=GpuMpiMode.PIPELINE,
+            gpu_pipeline_overhead=us(18.34),
+            gpu_cross_fabric_extra=us(1.04),
+        ),
+        gpu_runtime=GpuRuntimeCalibration(
+            launch_overhead=us(4.13),
+            sync_overhead=us(5.59),
+            h2d_latency=us(6.97),
+            d2h_latency=us(7.57),
+            h2d_bw_efficiency=0.8453,
+            d2d_base=us(23.91),
+            d2d_class_extra={LinkClass.A: 0.0, LinkClass.B: us(3.79)},
+            stream_efficiency=0.9571,
+        ),
+        provenance="CUDA 10.1.243 on POWER9; spectrum-mpi pipelined GPU path",
+    )
+    return Machine(
+        name="Sierra", rank=6, location="LLNL", node=node,
+        software=sw.SIERRA_ENV, calibration=cal, peak_label="900 [1]",
+    )
+
+
+def build_perlmutter() -> Machine:
+    node = _gpu_node(
+        "perlmutter-node", [catalog.epyc_7763()], a100_40gb(), 4,
+        a100_node_topology(),
+    )
+    cal = MachineCalibration(
+        mpi=MpiCalibration(
+            sw_overhead=us(0.20),
+            gpu_mode=GpuMpiMode.PIPELINE,
+            gpu_pipeline_overhead=us(13.04),
+        ),
+        gpu_runtime=GpuRuntimeCalibration(
+            launch_overhead=us(1.77),
+            sync_overhead=us(0.98),
+            h2d_latency=us(3.94),
+            d2h_latency=us(4.54),
+            h2d_bw_efficiency=0.7854,
+            d2d_base=us(14.74),
+            d2d_class_extra={LinkClass.A: 0.0},
+            stream_efficiency=0.8769,
+        ),
+        provenance="CUDA 11.7 on EPYC Milan; cray-mpich GTL pipelined GPU path",
+    )
+    return Machine(
+        name="Perlmutter", rank=8, location="NERSC", node=node,
+        software=sw.PERLMUTTER_ENV, calibration=cal, peak_label="1555.2 [3]",
+        notes="A100s with 40GB HBM used",
+    )
+
+
+def build_perlmutter_80gb() -> Machine:
+    """The Perlmutter partition the paper did *not* measure.
+
+    "1536 Perlmutter nodes have A100s with 40GB HBM memory, and 256
+    nodes have A100s with 80GB - in this work, we only measure the
+    40 GB A100s" (section 4).  This builder exists for studies of the
+    minority partition: the 80 GB SXM parts carry faster HBM2e
+    (2039 GB/s vendor peak), everything else matches the 40 GB nodes.
+    Not registered in the Table 3 inventory.
+    """
+    from ..hardware.gpu import GpuFamily, GpuSpec, GpuVendor
+    from ..hardware.memory import hbm2e
+
+    base = build_perlmutter()
+    a100_80 = GpuSpec(
+        model="A100-SXM4-80GB",
+        vendor=GpuVendor.NVIDIA,
+        family=GpuFamily.A100,
+        memory=hbm2e(80, 2039.0),
+        fp64_tflops=9.7,
+    )
+    node = NodeSpec(
+        name="perlmutter-80gb-node",
+        sockets=list(base.node.sockets),
+        gpus=[a100_80] * 4,
+        topology=a100_node_topology(),
+    )
+    import dataclasses
+
+    return dataclasses.replace(
+        base, node=node,
+        notes="80GB HBM minority partition (unmeasured by the paper)",
+    )
+
+
+def build_polaris() -> Machine:
+    node = _gpu_node(
+        "polaris-node", [catalog.epyc_7532()], a100_40gb(), 4,
+        a100_node_topology(),
+    )
+    cal = MachineCalibration(
+        mpi=MpiCalibration(
+            sw_overhead=us(0.075),
+            gpu_mode=GpuMpiMode.PIPELINE,
+            gpu_pipeline_overhead=us(10.21),
+        ),
+        gpu_runtime=GpuRuntimeCalibration(
+            launch_overhead=us(1.83),
+            sync_overhead=us(1.32),
+            # CUDA 11.4 driver generation: substantially slower peer DMA
+            # command handling than Perlmutter's 11.7 (paper section 4
+            # attributes the gap to system software).
+            h2d_latency=us(5.03),
+            d2h_latency=us(5.63),
+            h2d_bw_efficiency=0.7527,
+            d2d_base=us(32.84),
+            d2d_class_extra={LinkClass.A: 0.0},
+            stream_efficiency=0.8763,
+        ),
+        provenance="CUDA 11.4 on EPYC Rome; cray-mpich GTL pipelined GPU path",
+    )
+    return Machine(
+        name="Polaris", rank=19, location="ANL", node=node,
+        software=sw.POLARIS_ENV, calibration=cal, peak_label="1555.2 [3]",
+    )
+
+
+def build_lassen() -> Machine:
+    node = _gpu_node(
+        "lassen-node", [catalog.power9_20c()] * 2, v100(16), 4,
+        sierra_node_topology(),
+    )
+    cal = MachineCalibration(
+        mpi=MpiCalibration(
+            sw_overhead=us(0.155),
+            cross_socket_extra=us(0.15),
+            gpu_mode=GpuMpiMode.PIPELINE,
+            gpu_pipeline_overhead=us(18.31),
+            gpu_cross_fabric_extra=us(1.04),
+        ),
+        gpu_runtime=GpuRuntimeCalibration(
+            launch_overhead=us(4.56),
+            sync_overhead=us(5.52),
+            h2d_latency=us(7.46),
+            d2h_latency=us(8.06),
+            h2d_bw_efficiency=0.8445,
+            d2d_base=us(24.56),
+            d2d_class_extra={LinkClass.A: 0.0, LinkClass.B: us(3.13)},
+            stream_efficiency=0.9567,
+        ),
+        provenance="CUDA 10.1.243 on POWER9; spectrum-mpi pipelined GPU path",
+    )
+    return Machine(
+        name="Lassen", rank=36, location="LLNL", node=node,
+        software=sw.LASSEN_ENV, calibration=cal, peak_label="900 [1]",
+    )
+
+
+def _mi250x_llnl(name: str, rank: int, stream_eff: float,
+                 d_extra_us: float) -> Machine:
+    node = _gpu_node(
+        f"{name.lower()}-node", [catalog.epyc_trento_7a53()], mi250x_gcd(), 8,
+        mi250x_node_topology(),
+    )
+    cal = MachineCalibration(
+        mpi=MpiCalibration(
+            sw_overhead=us(0.215),
+            gpu_mode=GpuMpiMode.RMA,
+            gpu_rma_exchange=us(0.07),
+        ),
+        gpu_runtime=GpuRuntimeCalibration(
+            launch_overhead=us(2.16) if name == "RZVernal" else us(2.15),
+            sync_overhead=us(0.12),
+            h2d_latency=us(11.90) if name == "RZVernal" else us(11.89),
+            d2h_latency=us(12.50) if name == "RZVernal" else us(12.49),
+            h2d_bw_efficiency=0.6911,
+            d2d_base=us(9.85),
+            # ROCm 5.6 resolves link classes differently from Frontier's
+            # 5.3: dual/single links cost ~2.6-2.7 us extra, and the
+            # staged (class D) route costs a small routing delta.
+            d2d_class_extra={
+                LinkClass.A: 0.0,
+                LinkClass.B: us(2.73),
+                LinkClass.C: us(2.60),
+                LinkClass.D: us(d_extra_us),
+            },
+            stream_efficiency=stream_eff,
+        ),
+        provenance="ROCm 5.6 runtime; Slingshot cray-mpich GPU RMA",
+    )
+    return Machine(
+        name=name, rank=rank, location="LLNL", node=node,
+        software=sw.RZVERNAL_ENV if name == "RZVernal" else sw.TIOGA_ENV,
+        calibration=cal, peak_label="1600 [4]",
+    )
+
+
+def build_rzvernal() -> Machine:
+    return _mi250x_llnl("RZVernal", 116, stream_eff=0.7882, d_extra_us=0.36)
+
+
+def build_tioga() -> Machine:
+    return _mi250x_llnl("Tioga", 132, stream_eff=0.8159, d_extra_us=0.27)

@@ -1,0 +1,82 @@
+"""Lookup of the 13 DOE machines by name or Top500 rank.
+
+Machines are built lazily and cached; ``get_machine`` accepts any
+capitalisation ("frontier", "Frontier", "FRONTIER").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from ..errors import UnknownMachineError
+from .base import Machine
+from . import doe_cpu, doe_gpu
+
+_BUILDERS: dict[str, Callable[[], Machine]] = {
+    # Table 2: non-accelerator systems
+    "trinity": doe_cpu.build_trinity,
+    "theta": doe_cpu.build_theta,
+    "sawtooth": doe_cpu.build_sawtooth,
+    "eagle": doe_cpu.build_eagle,
+    "manzano": doe_cpu.build_manzano,
+    # Table 3: accelerator systems
+    "frontier": doe_gpu.build_frontier,
+    "summit": doe_gpu.build_summit,
+    "sierra": doe_gpu.build_sierra,
+    "perlmutter": doe_gpu.build_perlmutter,
+    "polaris": doe_gpu.build_polaris,
+    "lassen": doe_gpu.build_lassen,
+    "rzvernal": doe_gpu.build_rzvernal,
+    "tioga": doe_gpu.build_tioga,
+}
+
+#: canonical ordering: ascending Top500 rank within each class, CPU first —
+#: matching the order rows appear in the paper's tables
+CPU_MACHINE_NAMES = ("trinity", "theta", "sawtooth", "eagle", "manzano")
+GPU_MACHINE_NAMES = (
+    "frontier", "summit", "sierra", "perlmutter",
+    "polaris", "lassen", "rzvernal", "tioga",
+)
+
+
+def machine_names() -> list[str]:
+    """All registry keys (lowercase), CPU machines first, by rank."""
+    return list(CPU_MACHINE_NAMES) + list(GPU_MACHINE_NAMES)
+
+
+@lru_cache(maxsize=None)
+def _build(key: str) -> Machine:
+    return _BUILDERS[key]()
+
+
+def get_machine(name: str) -> Machine:
+    """Look a machine up by (case-insensitive) name."""
+    key = str(name).strip().lower()
+    if key not in _BUILDERS:
+        raise UnknownMachineError(
+            f"unknown machine {name!r}; known: {', '.join(machine_names())}"
+        )
+    return _build(key)
+
+
+def cpu_machines() -> list[Machine]:
+    """The paper's Table 2 systems, in rank order."""
+    return [get_machine(n) for n in CPU_MACHINE_NAMES]
+
+
+def gpu_machines() -> list[Machine]:
+    """The paper's Table 3 systems, in rank order."""
+    return [get_machine(n) for n in GPU_MACHINE_NAMES]
+
+
+def all_machines() -> list[Machine]:
+    return cpu_machines() + gpu_machines()
+
+
+def by_rank(rank: int) -> Machine:
+    """Look a machine up by its June 2023 Top500 rank."""
+    for machine in all_machines():
+        if machine.rank == rank:
+            return machine
+    raise UnknownMachineError(f"no DOE machine at Top500 rank {rank}")

@@ -1,0 +1,29 @@
+"""Memory-system performance models.
+
+These translate hardware specs plus calibration records into *achieved*
+bandwidths:
+
+* :mod:`~repro.memsys.stream_model` — single-thread bandwidth from the
+  latency x concurrency (Little's law) model.
+* :mod:`~repro.memsys.scaling` — multicore saturation given an OpenMP
+  thread team (binding and SMT effects included).
+* :mod:`~repro.memsys.writealloc` — BabelStream 4.0 byte accounting and
+  the write-allocate traffic that the counted bytes ignore.
+* :mod:`~repro.memsys.hbm` — GPU device-memory model.
+"""
+
+from .stream_model import single_thread_bandwidth, per_core_bandwidth
+from .scaling import team_bandwidth, UNBOUND_PENALTY, SMT_SHARING_PENALTY
+from .writealloc import KernelTraffic, traffic_for
+from .hbm import device_stream_bandwidth
+
+__all__ = [
+    "single_thread_bandwidth",
+    "per_core_bandwidth",
+    "team_bandwidth",
+    "UNBOUND_PENALTY",
+    "SMT_SHARING_PENALTY",
+    "KernelTraffic",
+    "traffic_for",
+    "device_stream_bandwidth",
+]

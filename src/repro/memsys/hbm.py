@@ -1,0 +1,33 @@
+"""GPU device-memory (HBM) bandwidth model.
+
+Device STREAM kernels on V100/A100/MI250X sustain a well-characterised
+fraction of the vendor HBM peak — roughly 86-96 % on the NVIDIA parts
+and ~79-82 % per GCD on MI250X (whose per-GCD figure is what BabelStream
+sees, since HIP exposes each GCD as a device).  The per-machine fraction
+lives in the calibration record; the dot kernel pays a small reduction
+penalty instead of a write-allocate penalty.
+"""
+
+from __future__ import annotations
+
+from ..errors import HardwareConfigError
+from ..hardware.gpu import GpuSpec
+from ..machines.calibration import GpuRuntimeCalibration
+from .writealloc import KernelTraffic
+
+
+def device_stream_bandwidth(
+    gpu: GpuSpec, cal: GpuRuntimeCalibration, kernel: KernelTraffic | None = None
+) -> float:
+    """Achieved device-memory bandwidth, bytes/second.
+
+    With ``kernel`` given, applies the per-kernel throughput factor
+    (only Dot differs: its block reduction and final host-side pass cost
+    a few percent).
+    """
+    if gpu.peak_bandwidth <= 0:
+        raise HardwareConfigError(f"{gpu.model}: non-positive peak bandwidth")
+    achieved = gpu.peak_bandwidth * cal.stream_efficiency
+    if kernel is not None and kernel.writes == 0:
+        achieved *= cal.dot_penalty
+    return achieved

@@ -1,0 +1,44 @@
+"""Single-thread memory bandwidth: the latency x concurrency model.
+
+A single core cannot saturate a modern memory system; its bandwidth is
+bounded by how many cache-line transfers it keeps in flight (line-fill
+buffers plus hardware-prefetch streams) against the memory latency —
+Little's law:
+
+    BW_single = MLP x line_size / latency
+
+For a Skylake-class Xeon with ~20 sustained in-flight lines against
+~85-100 ns of DDR4 latency this gives the familiar 13-16 GB/s; KNL
+sustains more misses (deeper prefetchers per tile) against slower
+MCDRAM, landing near 12-19 GB/s (paper Table 4, "Single" column).
+"""
+
+from __future__ import annotations
+
+from ..errors import HardwareConfigError
+from ..hardware.cpu import CpuSpec
+from ..machines.calibration import CpuStreamCalibration
+
+#: Cache-line size on every CPU in the study.
+LINE_SIZE = 64
+
+
+def per_core_bandwidth(cpu: CpuSpec, cal: CpuStreamCalibration) -> float:
+    """Sustained read bandwidth of one core, bytes/second."""
+    latency = cpu.memory.idle_latency
+    if latency <= 0:
+        raise HardwareConfigError(f"{cpu.model}: non-positive memory latency")
+    return cal.mlp * LINE_SIZE / latency
+
+
+def single_thread_bandwidth(cpu: CpuSpec, cal: CpuStreamCalibration) -> float:
+    """Best-case single-thread achieved bandwidth, bytes/second.
+
+    A single thread can never exceed the socket's peak; the concurrency
+    limit binds on every machine in the study, but the clip keeps the
+    model sane for hypothetical configurations.
+    """
+    return min(
+        per_core_bandwidth(cpu, cal),
+        cpu.memory.peak_bandwidth * cal.allcore_efficiency,
+    )

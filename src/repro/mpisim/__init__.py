@@ -1,0 +1,37 @@
+"""Simulated intra-node MPI.
+
+Ranks are simulation processes; point-to-point messages run an
+eager/rendezvous protocol over transport cost models derived from each
+machine's calibration and topology:
+
+* host buffers: shared-memory transport (software overhead per side +
+  cache-coherent exchange, plus UPI-hop or KNL-mesh distance);
+* device buffers on the MI250X machines: fabric RMA directly on GPU
+  memory (device latency == host latency, the paper's headline result);
+* device buffers on the CUDA machines: staged/pipelined through the
+  driver, with a large fixed overhead and an extra penalty for pairs
+  with no direct link (the paper's class-B figures).
+"""
+
+from .placement import RankLocation, on_socket_pair, on_node_pair, device_pair
+from .transport import BufferKind, PathCost, Transport
+from .protocols import EAGER_THRESHOLD
+from .world import ANY_TAG, MatchQueue, Message, MpiWorld, RankContext
+from . import collectives
+
+__all__ = [
+    "RankLocation",
+    "on_socket_pair",
+    "on_node_pair",
+    "device_pair",
+    "BufferKind",
+    "PathCost",
+    "Transport",
+    "EAGER_THRESHOLD",
+    "ANY_TAG",
+    "MatchQueue",
+    "Message",
+    "MpiWorld",
+    "RankContext",
+    "collectives",
+]

@@ -1,0 +1,203 @@
+"""Collective operations over the simulated point-to-point layer.
+
+The paper lists collective communication among its future-work items
+(section 5) and cites Li et al. for collectives over GPU interconnects.
+This module implements the classic algorithms on top of
+:class:`~repro.mpisim.world.RankContext` point-to-point messaging, so
+their cost structure (log2 P rounds, ring pipelines, ...) emerges from
+the same transport models the latency tables use.
+
+Implemented:
+
+* **barrier** — dissemination algorithm (ceil(log2 P) rounds);
+* **bcast** — binomial tree;
+* **reduce** — binomial tree with operator combine at each merge;
+* **allreduce** — recursive doubling (power-of-two ranks) with a
+  pre/post fold for the remainder, or reduce+bcast fallback;
+* **allgather** — ring (P-1 steps, each rank forwards what it has).
+
+Every collective is a generator to be ``yield from``-ed inside rank
+code, mirroring the point-to-point API.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generator
+
+from ..errors import MpiSimError
+from .transport import BufferKind
+from .world import RankContext
+
+Combine = Callable[[Any, Any], Any]
+
+
+def _size(ctx: RankContext) -> int:
+    return ctx.world.size
+
+
+def barrier(ctx: RankContext, buffer: BufferKind = BufferKind.HOST) -> Generator:
+    """Dissemination barrier: round k exchanges with rank +- 2^k."""
+    size = _size(ctx)
+    if size == 1:
+        return
+    rounds = math.ceil(math.log2(size))
+    for k in range(rounds):
+        dist = 1 << k
+        dst = (ctx.rank + dist) % size
+        src = (ctx.rank - dist) % size
+        send = ctx.env.process(ctx.send(dst, 0, buffer))
+        yield from ctx.recv(src)
+        yield send
+
+
+def bcast(
+    ctx: RankContext,
+    value: Any,
+    nbytes: int,
+    root: int = 0,
+    buffer: BufferKind = BufferKind.HOST,
+) -> Generator:
+    """Binomial-tree broadcast; returns the broadcast value on every rank."""
+    size = _size(ctx)
+    if not 0 <= root < size:
+        raise MpiSimError(f"bcast root {root} out of range (size {size})")
+    if size == 1:
+        return value
+    # renumber so the root is virtual rank 0 (MPICH-style binomial tree)
+    vrank = (ctx.rank - root) % size
+
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            msg = yield from ctx.recv(parent)
+            value = msg.payload
+            break
+        mask <<= 1
+    # children are vrank + mask for every smaller mask
+    mask >>= 1
+    while mask > 0:
+        child_v = vrank + mask
+        if child_v < size:
+            child = (child_v + root) % size
+            yield from ctx.send(child, nbytes, buffer, payload=value)
+        mask >>= 1
+    return value
+
+
+def reduce(
+    ctx: RankContext,
+    value: Any,
+    nbytes: int,
+    op: Combine,
+    root: int = 0,
+    buffer: BufferKind = BufferKind.HOST,
+) -> Generator:
+    """Binomial-tree reduction; the combined value lands on ``root``.
+
+    Non-root ranks return ``None``.  ``op`` must be associative and is
+    applied in a deterministic order: ascending *virtual* rank, i.e.
+    rank order rotated to start at the root (``root, root+1, ..,
+    root-1``).  With ``root=0`` that is plain rank order; commutative
+    operators are unaffected by the rotation.
+    """
+    size = _size(ctx)
+    if not 0 <= root < size:
+        raise MpiSimError(f"reduce root {root} out of range (size {size})")
+    vrank = (ctx.rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % size
+            yield from ctx.send(parent, nbytes, buffer, payload=acc)
+            return None
+        partner_v = vrank | mask
+        if partner_v < size:
+            partner = (partner_v + root) % size
+            msg = yield from ctx.recv(partner)
+            acc = op(acc, msg.payload)
+        mask <<= 1
+    return acc
+
+
+def allreduce(
+    ctx: RankContext,
+    value: Any,
+    nbytes: int,
+    op: Combine,
+    buffer: BufferKind = BufferKind.HOST,
+) -> Generator:
+    """Recursive-doubling allreduce; every rank returns the combined value.
+
+    For non-power-of-two sizes the trailing ranks fold into partners
+    first (and receive the result last), the textbook construction.
+    """
+    size = _size(ctx)
+    if size == 1:
+        return value
+    pof2 = 1 << (size.bit_length() - 1)
+    rem = size - pof2
+    acc = value
+    rank = ctx.rank
+
+    # fold phase: ranks >= pof2 send into [rank - rem, pof2)
+    if rank >= pof2:
+        partner = rank - rem
+        yield from ctx.send(partner, nbytes, buffer, payload=acc)
+        # wait for the final value at the end
+        msg = yield from ctx.recv(partner)
+        return msg.payload
+    if rank >= pof2 - rem:
+        partner = rank + rem
+        msg = yield from ctx.recv(partner)
+        acc = op(acc, msg.payload)
+
+    # recursive doubling among the first pof2 ranks
+    mask = 1
+    while mask < pof2:
+        partner = rank ^ mask
+        send = ctx.env.process(ctx.send(partner, nbytes, buffer, payload=acc))
+        msg = yield from ctx.recv(partner)
+        yield send
+        # deterministic combine order: lower rank's value first
+        if partner < rank:
+            acc = op(msg.payload, acc)
+        else:
+            acc = op(acc, msg.payload)
+        mask <<= 1
+
+    # unfold: send the result back out to the folded ranks
+    if rank >= pof2 - rem:
+        yield from ctx.send(rank + rem, nbytes, buffer, payload=acc)
+    return acc
+
+
+def allgather(
+    ctx: RankContext,
+    value: Any,
+    nbytes: int,
+    buffer: BufferKind = BufferKind.HOST,
+) -> Generator:
+    """Ring allgather; returns the list of every rank's value in order."""
+    size = _size(ctx)
+    out: list[Any] = [None] * size
+    out[ctx.rank] = value
+    if size == 1:
+        return out
+    right = (ctx.rank + 1) % size
+    left = (ctx.rank - 1) % size
+    carried = (ctx.rank, value)
+    for _step in range(size - 1):
+        send = ctx.env.process(
+            ctx.send(right, nbytes, buffer, payload=carried)
+        )
+        msg = yield from ctx.recv(left)
+        yield send
+        origin, payload = msg.payload
+        out[origin] = payload
+        carried = (origin, payload)
+    if any(v is None for v in out):
+        raise MpiSimError("ring allgather failed to fill every slot")
+    return out

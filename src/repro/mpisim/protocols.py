@@ -1,0 +1,28 @@
+"""MPI point-to-point protocol constants.
+
+Intra-node MPI implementations switch from **eager** (the message rides
+along with its envelope into a shared-memory mailbox) to **rendezvous**
+(an RTS/CTS handshake precedes the bulk transfer) above a size
+threshold.  8 KiB is a common intra-node default (OpenMPI's ``btl_sm``
+and cray-mpich's shm path both sit in the 4-16 KiB range).
+
+The OSU latency test's reported small-message figures are all deep in
+the eager regime; the rendezvous path shapes the large-message tail of
+the latency curve and the osu_bw extension.
+"""
+
+from __future__ import annotations
+
+#: Eager/rendezvous switchover, bytes.
+EAGER_THRESHOLD = 8 * 1024
+
+#: OSU iteration-count switch: messages up to this size use the "small
+#: message" iteration count (the suite's LARGE_MESSAGE_SIZE).
+OSU_LARGE_MESSAGE_SIZE = 8 * 1024
+
+#: OSU default iteration counts (osu_latency 7.1.1 defaults; the paper
+#: cites 1000 repeats for small messages and 100 for large).
+OSU_SMALL_ITERATIONS = 1000
+OSU_LARGE_ITERATIONS = 100
+OSU_SMALL_WARMUP = 200
+OSU_LARGE_WARMUP = 10

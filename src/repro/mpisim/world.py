@@ -1,0 +1,359 @@
+"""The simulated communicator: ranks, matching, eager/rendezvous.
+
+A :class:`MpiWorld` owns the rank placements and a mailbox per ordered
+rank pair.  Rank code is written as generator functions taking a
+:class:`RankContext`; sends and receives advance the simulated clock
+according to the machine's :class:`~repro.mpisim.transport.Transport`.
+
+Protocol:
+
+* **eager** (size <= :data:`~repro.mpisim.protocols.EAGER_THRESHOLD`):
+  the sender pays its software overhead, deposits the message with a
+  wire-arrival timestamp and continues; the receiver matches, waits for
+  arrival, pays its own overhead.
+* **rendezvous**: the sender deposits an RTS envelope and blocks on the
+  CTS; the receiver answers CTS when matched; the bulk transfer then
+  costs ``nbytes / bandwidth`` on the wire.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import MpiSimError
+from ..machines.base import Machine
+from ..sim.engine import Environment
+from ..sim.trace import NULL_TRACE, TraceRecorder
+from .placement import RankLocation
+from .protocols import EAGER_THRESHOLD
+from .transport import BufferKind, Transport
+
+
+class _MsgKind(enum.Enum):
+    EAGER = "eager"
+    RTS = "rts"
+    CTS = "cts"
+    DATA = "data"
+
+
+#: wildcard receive tag (MPI_ANY_TAG)
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    kind: _MsgKind
+    src: int
+    dst: int
+    nbytes: int
+    arrival: float
+    buffer: BufferKind
+    payload: Any = None
+    tag: int = 0
+    #: per-world unique send id; rendezvous CTS/DATA match on it
+    seq: int = 0
+
+
+@dataclass
+class _PrepostedRecv:
+    """Handle for an in-flight preposted receive."""
+
+    src: int
+    event: Any
+
+
+class MatchQueue:
+    """An MPI-style matching queue.
+
+    Messages and receive requests pair FIFO *among compatible matches*:
+    a receive posted with a tag takes the oldest message with that tag,
+    leaving earlier messages with other tags queued — the semantics
+    plain FIFO stores cannot express.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.items: list[Message] = []
+        self._waiters: list[tuple[Callable[[Message], bool], Any]] = []
+
+    def put(self, item: Message) -> None:
+        for idx, (match, event) in enumerate(self._waiters):
+            if match(item):
+                del self._waiters[idx]
+                event.succeed(item)
+                return
+        self.items.append(item)
+
+    def get(self, match: Optional[Callable[[Message], bool]] = None):
+        """An event that triggers with the oldest matching message."""
+        if match is None:
+            match = lambda _m: True  # noqa: E731
+        event = self.env.event()
+        for idx, item in enumerate(self.items):
+            if match(item):
+                del self.items[idx]
+                event.succeed(item)
+                return event
+        self._waiters.append((match, event))
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class RankContext:
+    """Handle a rank's generator code uses to communicate."""
+
+    def __init__(self, world: "MpiWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.env: Environment = world.env
+
+    @property
+    def location(self) -> RankLocation:
+        return self.world.placement[self.rank]
+
+    # -- point-to-point -----------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        nbytes: int,
+        buffer: BufferKind = BufferKind.HOST,
+        payload: Any = None,
+        tag: int = 0,
+    ) -> Generator:
+        """Blocking standard-mode send (eager buffers, rendezvous blocks)."""
+        if tag < 0:
+            raise MpiSimError(f"send tag must be non-negative: {tag}")
+        world = self.world
+        cost = world.path(self.rank, dst, buffer)
+        seq = world._next_seq()
+        if nbytes <= world.eager_threshold:
+            yield self.env.timeout(cost.o_send)
+            arrival = world._reserve_wire(self.rank, dst, nbytes, cost)
+            world._mailbox(self.rank, dst).put(
+                Message(_MsgKind.EAGER, self.rank, dst, nbytes, arrival,
+                        buffer, payload, tag, seq)
+            )
+            return
+        # rendezvous
+        yield self.env.timeout(cost.o_send)
+        world._mailbox(self.rank, dst).put(
+            Message(_MsgKind.RTS, self.rank, dst, nbytes,
+                    self.env.now + cost.wire, buffer, None, tag, seq)
+        )
+        cts: Message = yield world._control(dst, self.rank).get(
+            lambda m: m.seq == seq
+        )
+        if cts.kind != _MsgKind.CTS:
+            raise MpiSimError(f"rank {self.rank}: expected CTS, got {cts.kind}")
+        if cts.arrival > self.env.now:
+            yield self.env.timeout(cts.arrival - self.env.now)
+        arrival = world._reserve_wire(self.rank, dst, nbytes, cost)
+        world._data(self.rank, dst).put(
+            Message(_MsgKind.DATA, self.rank, dst, nbytes, arrival,
+                    buffer, payload, tag, seq)
+        )
+
+    @staticmethod
+    def _envelope_match(tag: int) -> Callable[[Message], bool]:
+        if tag == ANY_TAG:
+            return lambda m: True
+        return lambda m: m.tag == tag
+
+    def recv(self, src: int, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive from ``src``; returns the :class:`Message`.
+
+        ``tag`` selects which envelope to match (``ANY_TAG`` wildcard
+        by default); messages with other tags stay queued.
+        """
+        world = self.world
+        msg: Message = yield world._mailbox(src, self.rank).get(
+            self._envelope_match(tag)
+        )
+        cost = world.path(src, self.rank, msg.buffer)
+        if msg.kind == _MsgKind.EAGER:
+            if msg.arrival > self.env.now:
+                yield self.env.timeout(msg.arrival - self.env.now)
+            yield self.env.timeout(cost.o_recv)
+            return msg
+        if msg.kind != _MsgKind.RTS:
+            raise MpiSimError(f"rank {self.rank}: expected EAGER/RTS, got {msg.kind}")
+        if msg.arrival > self.env.now:
+            yield self.env.timeout(msg.arrival - self.env.now)
+        # answer CTS, then take the bulk data; both legs match on the
+        # send's sequence id so that concurrent rendezvous (including
+        # different tags) cannot cross wires
+        world._control(self.rank, src).put(
+            Message(_MsgKind.CTS, self.rank, src, 0,
+                    self.env.now + cost.wire, msg.buffer, None,
+                    msg.tag, msg.seq)
+        )
+        data: Message = yield world._data(src, self.rank).get(
+            lambda m: m.seq == msg.seq
+        )
+        if data.kind != _MsgKind.DATA:
+            raise MpiSimError(f"rank {self.rank}: expected DATA, got {data.kind}")
+        if data.arrival > self.env.now:
+            yield self.env.timeout(data.arrival - self.env.now)
+        yield self.env.timeout(cost.o_recv)
+        return data
+
+    # -- preposted receives --------------------------------------------------
+    def irecv(self, src: int, tag: int = ANY_TAG):
+        """Prepost a receive (MPI_Irecv); complete it with :meth:`wait`.
+
+        Preposting lets an incoming eager message match immediately
+        instead of landing in the unexpected-message queue; the
+        machine's ``prepost_discount`` models the saved copy (paper's
+        Theta footnote: the ALCF benchmarks prepost, OSU's blocking
+        loop effectively doesn't on that stack).
+        """
+        return _PrepostedRecv(
+            src,
+            self.world._mailbox(src, self.rank).get(self._envelope_match(tag)),
+        )
+
+    def wait(self, request: "_PrepostedRecv") -> Generator:
+        """Complete a preposted receive; returns the :class:`Message`."""
+        msg: Message = yield request.event
+        if msg.kind != _MsgKind.EAGER:
+            raise MpiSimError(
+                "preposted receives support eager messages only "
+                f"(got {msg.kind})"
+            )
+        cost = self.world.path(msg.src, self.rank, msg.buffer)
+        if msg.arrival > self.env.now:
+            yield self.env.timeout(msg.arrival - self.env.now)
+        discount = self.world.machine.calibration.mpi.prepost_discount
+        yield self.env.timeout(max(0.0, cost.o_recv - discount))
+        return msg
+
+    def sendrecv(
+        self, peer: int, nbytes: int, buffer: BufferKind = BufferKind.HOST
+    ) -> Generator:
+        """Symmetric exchange (used by the bidirectional-bandwidth test)."""
+        send = self.env.process(self.send(peer, nbytes, buffer))
+        msg = yield from self.recv(peer)
+        yield send
+        return msg
+
+
+class MpiWorld:
+    """A communicator of placed ranks on one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        placement: list[RankLocation],
+        env: Optional[Environment] = None,
+        trace: TraceRecorder = NULL_TRACE,
+        eager_threshold: int = EAGER_THRESHOLD,
+        transport=None,
+    ) -> None:
+        if len(placement) < 2:
+            raise MpiSimError("an MPI world needs at least two ranks")
+        total_cores = machine.node.total_cores
+        for loc in placement:
+            if loc.core >= total_cores:
+                raise MpiSimError(
+                    f"rank core {loc.core} out of range on {machine.name} "
+                    f"({total_cores} cores)"
+                )
+        self.machine = machine
+        self.placement = list(placement)
+        self.env = env if env is not None else Environment()
+        self.trace = trace
+        self.transport = transport if transport is not None else Transport(machine)
+        self.eager_threshold = eager_threshold
+        self._mailboxes: dict[tuple[int, int], MatchQueue] = {}
+        self._controls: dict[tuple[int, int], MatchQueue] = {}
+        self._datas: dict[tuple[int, int], MatchQueue] = {}
+        self._seq_counter = 0
+        self._path_cache: dict[tuple[int, int, BufferKind], Any] = {}
+        #: per ordered rank pair: simulated time the wire frees up
+        self._wire_free: dict[tuple[int, int], float] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.placement)
+
+    def path(self, src: int, dst: int, buffer: BufferKind):
+        key = (src, dst, buffer)
+        if key not in self._path_cache:
+            self._check_rank(src)
+            self._check_rank(dst)
+            self._path_cache[key] = self.transport.path(
+                self.placement[src], self.placement[dst], buffer
+            )
+        return self._path_cache[key]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise MpiSimError(f"rank {rank} out of range (size {self.size})")
+
+    def _next_seq(self) -> int:
+        self._seq_counter += 1
+        return self._seq_counter
+
+    def _mailbox(self, src: int, dst: int) -> MatchQueue:
+        key = (src, dst)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = MatchQueue(self.env)
+        return self._mailboxes[key]
+
+    def _control(self, src: int, dst: int) -> MatchQueue:
+        key = (src, dst)
+        if key not in self._controls:
+            self._controls[key] = MatchQueue(self.env)
+        return self._controls[key]
+
+    def _data(self, src: int, dst: int) -> MatchQueue:
+        key = (src, dst)
+        if key not in self._datas:
+            self._datas[key] = MatchQueue(self.env)
+        return self._datas[key]
+
+    def _reserve_wire(self, src: int, dst: int, nbytes: int, cost) -> float:
+        """Serialise transfers on the pair's wire; return arrival time.
+
+        Back-to-back messages pipeline at the transport bandwidth instead
+        of overlapping unboundedly — this is what makes the osu_bw window
+        measure the link rather than the sender's software overhead.
+        Inter-node paths additionally reserve their shared network links,
+        so messages from *other* rank pairs contend for them too.
+        """
+        shared = getattr(cost, "shared_links", ())
+        if shared is not None and len(shared) > 0:
+            from ..netsim.links import reserve_path
+
+            links = (
+                shared.choose(self.env.now, nbytes)
+                if hasattr(shared, "choose") else list(shared)
+            )
+            arrival = reserve_path(links, self.env.now, nbytes)
+            return arrival + cost.wire
+        key = (src, dst)
+        start = max(self.env.now, self._wire_free.get(key, 0.0))
+        transfer = nbytes / cost.bandwidth
+        self._wire_free[key] = start + transfer
+        return start + cost.wire + transfer
+
+    # ------------------------------------------------------------------
+    def run(
+        self, rank_fns: list[Callable[[RankContext], Generator]]
+    ) -> list[Any]:
+        """Run one generator function per rank; return their values."""
+        if len(rank_fns) != self.size:
+            raise MpiSimError(
+                f"need {self.size} rank functions, got {len(rank_fns)}"
+            )
+        procs = [
+            self.env.process(fn(RankContext(self, rank)), name=f"rank{rank}")
+            for rank, fn in enumerate(rank_fns)
+        ]
+        done = self.env.all_of(procs)
+        self.env.run(until=done)
+        return [p.value for p in procs]

@@ -1,0 +1,140 @@
+"""Shared, contended network links.
+
+A :class:`NetworkLink` carries traffic from many rank pairs at once;
+transfers reserve it FIFO, so two jobs streaming over the same global
+link each see half the bandwidth — the "there goes the neighborhood"
+effect [20] that the paper names as a reason it stayed intra-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class NetworkLink:
+    """One direction of one physical link."""
+
+    name: str
+    bandwidth: float              # bytes/second
+    latency: float                # hop + wire latency, seconds
+    busy_until: float = 0.0
+    bytes_carried: int = 0
+    transfers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise SimulationError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise SimulationError(f"{self.name}: negative latency")
+
+    def reserve(self, now: float, nbytes: int) -> float:
+        """Serialise ``nbytes`` onto the link; return the finish time.
+
+        The transfer begins when the link frees up (FIFO) and occupies
+        it for ``nbytes / bandwidth``; the returned time includes the
+        link's propagation latency.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        start = max(now, self.busy_until)
+        self.busy_until = start + nbytes / self.bandwidth
+        self.bytes_carried += nbytes
+        self.transfers += 1
+        return self.busy_until + self.latency
+
+    def utilisation_until(self, horizon: float) -> float:
+        """Fraction of [0, horizon] the link spent busy (approximate)."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_carried / self.bandwidth) / horizon)
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.bytes_carried = 0
+        self.transfers = 0
+
+
+def reserve_path(links: list["NetworkLink"], now: float, nbytes: int) -> float:
+    """Cut-through reservation of a whole path; returns delivery time.
+
+    The message header advances one link latency at a time; each link is
+    occupied for the message's serialisation time starting no earlier
+    than the header's arrival or the link freeing up.  Zero-byte
+    messages therefore cost the sum of link latencies; large messages
+    cost ~``nbytes / bottleneck_bandwidth`` plus latencies; and
+    contending messages queue FIFO per link.
+    """
+    if not links:
+        raise SimulationError("reserve_path needs at least one link")
+    header = now
+    finish = now
+    for link in links:
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        start = max(header, link.busy_until)
+        link.busy_until = start + nbytes / link.bandwidth
+        link.bytes_carried += nbytes
+        link.transfers += 1
+        header = start + link.latency
+        # delivery cannot precede the drain of ANY link on the path
+        # (a slow middle link governs even if later links are fast)
+        finish = max(finish, link.busy_until + link.latency)
+    return max(header, finish)
+
+
+class AdaptiveRoute:
+    """A set of candidate link paths chosen per message by load.
+
+    Iterating (for latency estimates) yields the minimal candidate;
+    :meth:`choose` is called at reservation time with the simulated
+    clock and picks the candidate whose busiest link frees up first —
+    the essence of adaptive dragonfly routing.
+    """
+
+    def __init__(self, candidates: list[list["NetworkLink"]]) -> None:
+        if not candidates or any(not c for c in candidates):
+            raise SimulationError("AdaptiveRoute needs non-empty candidates")
+        self.candidates = candidates
+
+    def __iter__(self):
+        return iter(self.candidates[0])
+
+    def __len__(self) -> int:
+        return len(self.candidates[0])
+
+    def choose(self, now: float, nbytes: int) -> list["NetworkLink"]:
+        def readiness(path: list["NetworkLink"]) -> tuple[float, int]:
+            wait = max(max(0.0, l.busy_until - now) for l in path)
+            # tie-break toward shorter paths (minimal first in the list)
+            return (wait, len(path))
+
+        return min(self.candidates, key=readiness)
+
+
+@dataclass
+class LinkTable:
+    """All directed links of a network, keyed by (src, dst) router names."""
+
+    links: dict[tuple[str, str], NetworkLink] = field(default_factory=dict)
+
+    def add(self, src: str, dst: str, bandwidth: float, latency: float) -> None:
+        key = (src, dst)
+        if key in self.links:
+            raise SimulationError(f"duplicate link {src}->{dst}")
+        self.links[key] = NetworkLink(f"{src}->{dst}", bandwidth, latency)
+
+    def get(self, src: str, dst: str) -> NetworkLink:
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise SimulationError(f"no link {src}->{dst}") from None
+
+    def along(self, path: list[str]) -> list[NetworkLink]:
+        return [self.get(a, b) for a, b in zip(path, path[1:])]
+
+    def reset(self) -> None:
+        for link in self.links.values():
+            link.reset()

@@ -1,0 +1,200 @@
+"""Network topologies: dragonfly (Slingshot/Aries) and fat-tree (IB).
+
+A topology owns a directed :class:`~repro.netsim.links.LinkTable` over
+router names and maps compute nodes onto routers.  Routing is minimal
+(dragonfly: local - global - local; fat-tree: up to the common
+ancestor, then down) — enough to give hop counts, contention points
+and bisection behaviour their correct structure.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import HardwareConfigError, TopologyError
+from .fabric import FabricSpec
+from .links import LinkTable, NetworkLink
+
+
+class NetworkTopology:
+    """Base class: routers, node attachment, minimal routing."""
+
+    def __init__(self, fabric: FabricSpec, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise HardwareConfigError(f"need at least one node, got {n_nodes}")
+        self.fabric = fabric
+        self.n_nodes = n_nodes
+        self.links = LinkTable()
+        #: router name each node attaches to
+        self._node_router: list[str] = []
+
+    # -- construction helpers ----------------------------------------------
+    def _link(self, a: str, b: str) -> None:
+        """Add a bidirectional router-router link pair."""
+        latency = self.fabric.hop_latency + self.fabric.wire_latency
+        self.links.add(a, b, self.fabric.link_bandwidth, latency)
+        self.links.add(b, a, self.fabric.link_bandwidth, latency)
+
+    # -- queries ----------------------------------------------------------
+    def router_of(self, node: int) -> str:
+        if not 0 <= node < self.n_nodes:
+            raise TopologyError(f"node {node} out of range ({self.n_nodes} nodes)")
+        return self._node_router[node]
+
+    def route(self, src_node: int, dst_node: int) -> list[str]:
+        """Router path between two nodes (empty if co-located)."""
+        a, b = self.router_of(src_node), self.router_of(dst_node)
+        if a == b:
+            return [a]
+        return self._route_routers(a, b)
+
+    def links_between(self, src_node: int, dst_node: int) -> list[NetworkLink]:
+        path = self.route(src_node, dst_node)
+        return self.links.along(path)
+
+    def hops(self, src_node: int, dst_node: int) -> int:
+        """Router-to-router link traversals between two nodes."""
+        return max(0, len(self.route(src_node, dst_node)) - 1)
+
+    def _route_routers(self, a: str, b: str) -> list[str]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class DragonflyTopology(NetworkTopology):
+    """An all-to-all-of-all-to-alls dragonfly.
+
+    ``groups`` groups of ``routers_per_group`` routers; routers within a
+    group are fully connected; each ordered group pair is joined by one
+    global link between deterministic representatives.  Nodes fill
+    routers round-robin with ``nodes_per_router`` per router.
+    """
+
+    def __init__(
+        self,
+        fabric: FabricSpec,
+        n_nodes: int,
+        groups: int = 4,
+        routers_per_group: int = 4,
+        nodes_per_router: int = 4,
+    ) -> None:
+        super().__init__(fabric, n_nodes)
+        if groups < 1 or routers_per_group < 1 or nodes_per_router < 1:
+            raise HardwareConfigError("dragonfly parameters must be >= 1")
+        capacity = groups * routers_per_group * nodes_per_router
+        if n_nodes > capacity:
+            raise HardwareConfigError(
+                f"dragonfly({groups},{routers_per_group},{nodes_per_router}) "
+                f"holds {capacity} nodes; asked for {n_nodes}"
+            )
+        self.groups = groups
+        self.routers_per_group = routers_per_group
+        self.nodes_per_router = nodes_per_router
+
+        # intra-group cliques
+        for g in range(groups):
+            names = [self._router_name(g, r) for r in range(routers_per_group)]
+            for i, a in enumerate(names):
+                for b in names[i + 1:]:
+                    self._link(a, b)
+        # one global link per group pair, spread over routers
+        for g1 in range(groups):
+            for g2 in range(g1 + 1, groups):
+                r1 = g2 % routers_per_group
+                r2 = g1 % routers_per_group
+                self._link(self._router_name(g1, r1), self._router_name(g2, r2))
+
+        for node in range(n_nodes):
+            router = node // nodes_per_router
+            g, r = divmod(router, routers_per_group)
+            self._node_router.append(self._router_name(g, r))
+
+    @staticmethod
+    def _router_name(group: int, router: int) -> str:
+        return f"g{group}r{router}"
+
+    def group_of(self, node: int) -> int:
+        return int(self.router_of(node)[1:].split("r")[0])
+
+    def _route_routers(self, a: str, b: str) -> list[str]:
+        ga = int(a[1:].split("r")[0])
+        gb = int(b[1:].split("r")[0])
+        if ga == gb:
+            return [a, b]  # intra-group clique: one hop
+        # minimal dragonfly route: (local,) global (, local)
+        src_gw = self._router_name(ga, gb % self.routers_per_group)
+        dst_gw = self._router_name(gb, ga % self.routers_per_group)
+        path = [a]
+        if src_gw != a:
+            path.append(src_gw)
+        path.append(dst_gw)
+        if dst_gw != b:
+            path.append(b)
+        return path
+
+    def nonminimal_routes(
+        self, src_node: int, dst_node: int, max_candidates: int = 3
+    ) -> list[list[str]]:
+        """Valiant-style candidates: minimal first, then routes bounced
+        through intermediate groups (minimal to the intermediate, then
+        minimal onward).  Adaptive routing picks among these by load."""
+        a, b = self.router_of(src_node), self.router_of(dst_node)
+        candidates = [self.route(src_node, dst_node)]
+        if a == b:
+            return candidates
+        ga = int(a[1:].split("r")[0])
+        gb = int(b[1:].split("r")[0])
+        for gi in range(self.groups):
+            if len(candidates) >= max_candidates:
+                break
+            if gi in (ga, gb):
+                continue
+            mid = self._router_name(gi, 0)
+            first = self._route_routers(a, mid)
+            second = self._route_routers(mid, b)
+            path = first + second[1:]
+            # drop immediate backtracks (router repeated consecutively)
+            cleaned = [path[0]]
+            for router in path[1:]:
+                if router != cleaned[-1]:
+                    cleaned.append(router)
+            if len(cleaned) == len(set(cleaned)):
+                candidates.append(cleaned)
+        return candidates
+
+
+class FatTreeTopology(NetworkTopology):
+    """A two-level fat-tree: leaf switches under a core-switch layer.
+
+    ``nodes_per_leaf`` nodes attach to each leaf; every leaf connects to
+    every core switch (so the core layer carries the bisection).  Core
+    uplinks are chosen deterministically by (leaf-pair) hash so distinct
+    pairs spread over distinct cores — contention appears only when the
+    core layer is oversubscribed, the classic fat-tree behaviour.
+    """
+
+    def __init__(
+        self,
+        fabric: FabricSpec,
+        n_nodes: int,
+        nodes_per_leaf: int = 8,
+        core_switches: int = 4,
+    ) -> None:
+        super().__init__(fabric, n_nodes)
+        if nodes_per_leaf < 1 or core_switches < 1:
+            raise HardwareConfigError("fat-tree parameters must be >= 1")
+        self.nodes_per_leaf = nodes_per_leaf
+        self.core_switches = core_switches
+        self.n_leaves = math.ceil(n_nodes / nodes_per_leaf)
+        for leaf in range(self.n_leaves):
+            for core in range(core_switches):
+                self._link(f"leaf{leaf}", f"core{core}")
+        for node in range(n_nodes):
+            self._node_router.append(f"leaf{node // nodes_per_leaf}")
+
+    def leaf_of(self, node: int) -> str:
+        return self.router_of(node)
+
+    def _route_routers(self, a: str, b: str) -> list[str]:
+        ia, ib = int(a[4:]), int(b[4:])
+        core = (ia * 31 + ib * 17) % self.core_switches
+        return [a, f"core{core}", b]

@@ -1,0 +1,25 @@
+"""OpenMP environment / thread-affinity substrate.
+
+Models the three environment variables the paper sweeps (Table 1):
+``OMP_NUM_THREADS``, ``OMP_PROC_BIND`` and ``OMP_PLACES``.  The output is
+a :class:`~repro.openmp.team.ThreadTeam` describing which hardware
+threads the BabelStream worker threads actually land on — which is what
+determines the measured bandwidth of each configuration.
+"""
+
+from .env import OmpEnvironment, table1_configurations
+from .places import Place, parse_places
+from .binding import BindPolicy, assign_threads
+from .team import BoundThread, ThreadTeam, build_team
+
+__all__ = [
+    "OmpEnvironment",
+    "table1_configurations",
+    "Place",
+    "parse_places",
+    "BindPolicy",
+    "assign_threads",
+    "BoundThread",
+    "ThreadTeam",
+    "build_team",
+]

@@ -1,0 +1,70 @@
+"""``OMP_PROC_BIND`` thread-to-place assignment policies.
+
+Implements the OpenMP 4.5 semantics for ``master``, ``close`` and
+``spread`` over a parsed place list.  ``true`` means "bind, policy
+implementation-defined" — mainstream runtimes behave like ``close`` —
+and ``false``/unset leaves threads unbound (the OS may migrate them,
+which is the bandwidth penalty the Table 1 sweep exists to expose).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import OpenMPConfigError
+from .places import Place
+
+
+class BindPolicy(enum.Enum):
+    UNBOUND = "unbound"
+    MASTER = "master"
+    CLOSE = "close"
+    SPREAD = "spread"
+
+    @classmethod
+    def from_env(cls, proc_bind: str | None) -> "BindPolicy":
+        if proc_bind is None or proc_bind == "false":
+            return cls.UNBOUND
+        if proc_bind == "true":
+            # implementation-defined: model mainstream runtimes' close
+            return cls.CLOSE
+        try:
+            return cls(proc_bind)
+        except ValueError:
+            raise OpenMPConfigError(f"unknown OMP_PROC_BIND: {proc_bind!r}") from None
+
+
+def assign_threads(
+    policy: BindPolicy, places: list[Place], num_threads: int
+) -> list[Place | None]:
+    """Place for each thread id (``None`` = unbound).
+
+    * ``master``: every thread shares the primary thread's place.
+    * ``close``: thread ``i`` gets place ``i`` consecutively, wrapping
+      (several threads share a place when T > P).
+    * ``spread``: the place list is split into T contiguous
+      subpartitions and each thread gets the first place of its
+      subpartition; when T > P it degenerates to close-with-wrap.
+    """
+    if num_threads < 1:
+        raise OpenMPConfigError(f"thread count must be >= 1: {num_threads}")
+    if policy == BindPolicy.UNBOUND:
+        return [None] * num_threads
+    if not places:
+        raise OpenMPConfigError("binding requested but place list is empty")
+    nplaces = len(places)
+
+    if policy == BindPolicy.MASTER:
+        return [places[0]] * num_threads
+
+    if policy == BindPolicy.CLOSE or num_threads >= nplaces:
+        # spread with T >= P has the same effect as close: every place
+        # hosts floor/ceil(T/P) threads in order.
+        return [places[i % nplaces] for i in range(num_threads)]
+
+    # spread with fewer threads than places: pick evenly spaced places
+    out: list[Place | None] = []
+    for i in range(num_threads):
+        lo = (i * nplaces) // num_threads
+        out.append(places[lo])
+    return out

@@ -1,0 +1,143 @@
+"""``OMP_PLACES`` parsing.
+
+Supports the symbolic names (``threads``, ``cores``, ``sockets``) and the
+explicit place-list grammar of the OpenMP 4.5 spec:
+
+* ``{0,1,2,3}`` — one place holding those OS hardware-thread ids;
+* ``{0:4}`` — interval: start 0, length 4 (``{0,1,2,3}``);
+* ``{0:4:2}`` — interval with stride (``{0,2,4,6}``);
+* ``{0:2}:4:8`` — replication: the place, repeated 4 times, each copy
+  shifted by 8 (``{0,1},{8,9},{16,17},{24,25}``);
+* comma-separated concatenations of the above.
+
+Places are tuples of OS hardware-thread ids, validated against the node.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from ..errors import OpenMPConfigError
+from ..hardware.node import NodeSpec
+
+Place = tuple[int, ...]
+
+_BRACE_RE = re.compile(r"\{([^{}]*)\}")
+
+
+def _expand_interval(token: str) -> list[int]:
+    """Expand one in-brace token: ``n``, ``n:len`` or ``n:len:stride``."""
+    parts = token.split(":")
+    if not 1 <= len(parts) <= 3:
+        raise OpenMPConfigError(f"bad place interval: {token!r}")
+    try:
+        nums = [int(p) for p in parts]
+    except ValueError:
+        raise OpenMPConfigError(f"non-numeric place interval: {token!r}") from None
+    if len(nums) == 1:
+        return [nums[0]]
+    start, length = nums[0], nums[1]
+    stride = nums[2] if len(nums) == 3 else 1
+    if length < 1:
+        raise OpenMPConfigError(f"place interval length must be >= 1: {token!r}")
+    if stride == 0:
+        raise OpenMPConfigError(f"place interval stride must be nonzero: {token!r}")
+    return [start + i * stride for i in range(length)]
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas that are not inside braces."""
+    out, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise OpenMPConfigError(f"unbalanced braces in places: {text!r}")
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if depth != 0:
+        raise OpenMPConfigError(f"unbalanced braces in places: {text!r}")
+    if cur:
+        out.append("".join(cur))
+    return [s.strip() for s in out if s.strip()]
+
+
+def _parse_explicit(text: str) -> list[Place]:
+    places: list[Place] = []
+    for item in _split_top_level(text):
+        m = _BRACE_RE.match(item)
+        if not m or not item.startswith("{"):
+            raise OpenMPConfigError(f"bad place item: {item!r}")
+        inner = m.group(1)
+        base: list[int] = []
+        for tok in inner.split(","):
+            tok = tok.strip()
+            if not tok:
+                raise OpenMPConfigError(f"empty entry in place: {item!r}")
+            base.extend(_expand_interval(tok))
+        rest = item[m.end():]
+        if rest:
+            # replication suffix ":count" or ":count:stride"
+            parts = rest.lstrip(":").split(":")
+            if not rest.startswith(":") or not 1 <= len(parts) <= 2:
+                raise OpenMPConfigError(f"bad place replication: {item!r}")
+            try:
+                count = int(parts[0])
+                stride = int(parts[1]) if len(parts) == 2 else len(base)
+            except ValueError:
+                raise OpenMPConfigError(f"bad place replication: {item!r}") from None
+            if count < 1:
+                raise OpenMPConfigError(f"replication count must be >= 1: {item!r}")
+            for rep in range(count):
+                places.append(tuple(v + rep * stride for v in base))
+        else:
+            places.append(tuple(base))
+    if not places:
+        raise OpenMPConfigError(f"no places in {text!r}")
+    return places
+
+
+def parse_places(spec: str | None, node: NodeSpec) -> list[Place]:
+    """Parse an ``OMP_PLACES`` value against ``node``.
+
+    ``None`` (unset) defaults to one place per core, which is what
+    mainstream runtimes do once binding is requested.
+    """
+    if spec is None or spec.strip().lower() in ("", "cores"):
+        return _per_core_places(node)
+    low = spec.strip().lower()
+    if low == "threads":
+        return [(ht.os_id,) for ht in node.hardware_threads()]
+    if low == "sockets":
+        out: list[Place] = []
+        for s in range(node.n_sockets):
+            ids = [ht.os_id for ht in node.hardware_threads() if ht.socket == s]
+            out.append(tuple(sorted(ids)))
+        return out
+    places = _parse_explicit(spec)
+    total = node.total_hardware_threads
+    for place in places:
+        for os_id in place:
+            if not 0 <= os_id < total:
+                raise OpenMPConfigError(
+                    f"place hwthread {os_id} out of range (node has {total})"
+                )
+    return places
+
+
+def _per_core_places(node: NodeSpec) -> list[Place]:
+    by_core: dict[int, list[int]] = {}
+    for ht in node.hardware_threads():
+        by_core.setdefault(ht.core, []).append(ht.os_id)
+    return [tuple(sorted(ids)) for _core, ids in sorted(by_core.items())]
+
+
+def place_cores(place: Place, node: NodeSpec) -> set[int]:
+    """Distinct global core ids covered by a place."""
+    return {node.hardware_thread(os_id).core for os_id in place}

@@ -1,0 +1,105 @@
+"""Thread-team construction: the resolved result of one OpenMP config.
+
+:func:`build_team` combines the environment (:mod:`~repro.openmp.env`),
+the place parser and the binding policy into a :class:`ThreadTeam` — the
+object the bandwidth model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.node import NodeSpec
+from .binding import BindPolicy, assign_threads
+from .env import OmpEnvironment
+from .places import Place, parse_places, place_cores
+
+
+@dataclass(frozen=True)
+class BoundThread:
+    """One OpenMP worker thread and where it may run."""
+
+    thread_id: int
+    #: the place (OS hwthread ids) the thread is bound to; None = unbound
+    place: Place | None
+
+    @property
+    def bound(self) -> bool:
+        return self.place is not None
+
+
+@dataclass(frozen=True)
+class ThreadTeam:
+    """The resolved team for one node + OpenMP environment."""
+
+    node: NodeSpec
+    env: OmpEnvironment
+    threads: tuple[BoundThread, ...]
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def bound(self) -> bool:
+        """True when every thread has a place."""
+        return all(t.bound for t in self.threads)
+
+    def cores_used(self) -> set[int]:
+        """Distinct cores covered by bound threads.
+
+        For unbound threads the scheduler may use any core; callers
+        should treat the team via :meth:`effective_core_count` instead.
+        """
+        cores: set[int] = set()
+        for t in self.threads:
+            if t.place is not None:
+                cores |= place_cores(t.place, self.node)
+        return cores
+
+    def effective_core_count(self) -> int:
+        """Cores that can simultaneously stream memory for this team."""
+        if self.bound:
+            return len(self.cores_used())
+        # Unbound: the OS spreads runnable threads over idle cores.
+        return min(self.num_threads, self.node.total_cores)
+
+    def sockets_used(self) -> set[int]:
+        if not self.bound:
+            return set(range(self.node.n_sockets))
+        return {self.node.socket_of_core(c) for c in self.cores_used()}
+
+    def max_threads_per_core(self) -> int:
+        """Worst-case SMT sharing among bound threads."""
+        if not self.bound:
+            return max(
+                1,
+                -(-self.num_threads // max(1, self.node.total_cores)),
+            )
+        count: dict[int, int] = {}
+        for t in self.threads:
+            assert t.place is not None
+            # A thread bound to a multi-hwthread place occupies one of
+            # its cores at a time; charge its first core.
+            core = self.node.hardware_thread(t.place[0]).core
+            count[core] = count.get(core, 0) + 1
+        return max(count.values())
+
+    def smt_oversubscribed(self) -> bool:
+        return self.max_threads_per_core() > 1
+
+
+def build_team(node: NodeSpec, env: OmpEnvironment) -> ThreadTeam:
+    """Resolve one OpenMP environment into a bound thread team."""
+    num_threads = env.resolve_num_threads(node)
+    policy = BindPolicy.from_env(env.proc_bind)
+    if policy == BindPolicy.UNBOUND:
+        assignments: list[Place | None] = [None] * num_threads
+    else:
+        places = parse_places(env.places, node)
+        assignments = assign_threads(policy, places, num_threads)
+    threads = tuple(
+        BoundThread(thread_id=i, place=place)
+        for i, place in enumerate(assignments)
+    )
+    return ThreadTeam(node=node, env=env, threads=threads)

@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+A small, dependency-free, SimPy-flavoured engine: generator coroutines are
+scheduled as :class:`~repro.sim.engine.Process` objects on an
+:class:`~repro.sim.engine.Environment` whose clock advances in simulated
+seconds.  Shared hardware (DMA engines, memory controllers, MPI progress
+threads) is modelled with :class:`~repro.sim.resources.Resource`, and
+message exchange with :class:`~repro.sim.channel.Channel`.
+
+All benchmark "timings" in this package are read off the simulated clock,
+never the wall clock.
+"""
+
+from .engine import Environment, Event, Process, Timeout, AllOf, AnyOf, Interrupt
+from .resources import Resource, PriorityResource, Store
+from .channel import Channel
+from .random import RandomStreams, NoiseModel
+from .trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "Channel",
+    "RandomStreams",
+    "NoiseModel",
+    "TraceRecorder",
+    "TraceEvent",
+]

@@ -1,0 +1,63 @@
+"""Rendezvous-style message channels between simulated processes.
+
+A :class:`Channel` pairs senders and receivers FIFO.  ``send`` completes
+immediately if a receiver is already waiting (and vice versa); otherwise
+the operation blocks until a partner arrives.  This is the primitive the
+MPI simulation's matching engine is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .engine import Environment, Event
+
+
+class _SendOp(Event):
+    def __init__(self, env: Environment, payload: Any) -> None:
+        super().__init__(env)
+        self.payload = payload
+
+
+class _RecvOp(Event):
+    pass
+
+
+class Channel:
+    """An unbuffered point-to-point rendezvous channel."""
+
+    def __init__(self, env: Environment, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._senders: list[_SendOp] = []
+        self._receivers: list[_RecvOp] = []
+
+    @property
+    def pending_sends(self) -> int:
+        return len(self._senders)
+
+    @property
+    def pending_recvs(self) -> int:
+        return len(self._receivers)
+
+    def send(self, payload: Any) -> Event:
+        """Offer ``payload``; triggers when a receiver takes it."""
+        op = _SendOp(self.env, payload)
+        if self._receivers:
+            recv = self._receivers.pop(0)
+            recv.succeed(payload)
+            op.succeed()
+        else:
+            self._senders.append(op)
+        return op
+
+    def recv(self) -> Event:
+        """Wait for a payload; the event's value is the payload."""
+        op = _RecvOp(self.env)
+        if self._senders:
+            send = self._senders.pop(0)
+            op.succeed(send.payload)
+            send.succeed()
+        else:
+            self._receivers.append(op)
+        return op

@@ -1,0 +1,376 @@
+"""Core discrete-event simulation engine.
+
+The engine follows the classic event-queue design: an
+:class:`Environment` owns a heap of ``(time, priority, sequence, event)``
+entries; triggering an event schedules it, and popping it runs its
+callbacks.  :class:`Process` wraps a generator coroutine — each ``yield``
+hands back an :class:`Event` the process waits on.
+
+The implementation is deliberately small but complete enough to express
+everything the hardware models need: timeouts, processes as events
+(join semantics), interrupts, and ``AllOf``/``AnyOf`` composition.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import DeadlockError, SimulationError
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for urgent events (process bookkeeping runs before user events).
+URGENT = 0
+
+
+class Event:
+    """A condition that may be triggered at some simulated time.
+
+    Events carry a ``value`` (delivered to waiting processes), an ``ok``
+    flag (failed events propagate exceptions into waiters) and a list of
+    callbacks invoked when processed.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._defused = False
+
+    # -- state -----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled."""
+        return self.callbacks is None or self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    _scheduled = False
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._scheduled or self.callbacks is None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.  If nothing
+        ever waits, the environment raises it at the end of the run unless
+        :meth:`defused` is called.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._scheduled or self.callbacks is None:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = exception
+        self._ok = False
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it is not re-raised at run end."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a process at the current time."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A process is itself an event: it triggers (with the generator's return
+    value) when the coroutine finishes, so processes can ``yield`` other
+    processes to join them.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"not a generator coroutine: {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self.callbacks is not None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} already terminated")
+        event = Event(self.env)
+        event._value = Interrupt(cause)
+        event._ok = False
+        event._defused = True
+        # Detach from whatever the process was waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT)
+
+    # -- scheduling glue ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    # Failed event: raise inside the coroutine.
+                    event._defused = True
+                    exc = event._value
+                    target = self._generator.throw(exc)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self._target = None
+                self._value = stop.value
+                self._ok = True
+                self.env._schedule(self, NORMAL)
+                return
+            except Interrupt as exc:
+                # Interrupt escaped the coroutine: terminate it with failure.
+                self.env._active_process = None
+                self._target = None
+                self._value = exc
+                self._ok = False
+                self.env._schedule(self, NORMAL)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                self._target = None
+                self._value = exc
+                self._ok = False
+                self.env._schedule(self, NORMAL)
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration:
+                    pass
+                except SimulationError:
+                    pass
+                self._value = exc
+                self._ok = False
+                self.env._schedule(self, NORMAL)
+                return
+
+            if target.callbacks is not None:
+                # Not yet processed -- wait for it.
+                target.callbacks.append(self._resume)
+                self._target = target
+                self.env._active_process = None
+                return
+            # Already processed: loop and resume immediately with its value.
+            event = target
+
+
+class Condition(Event):
+    """Base for AllOf / AnyOf composition over multiple events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed({})
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(
+                {ev: ev._value for ev in self._events if ev.callbacks is None or ev.triggered}
+            )
+
+
+class AllOf(Condition):
+    """Triggers when every component event has triggered."""
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self._events)
+
+
+class AnyOf(Condition):
+    """Triggers when at least one component event has triggered."""
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Environment:
+    """The simulation kernel: a clock and an event heap."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise DeadlockError("event queue empty")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: "Event | float | None" = None) -> Any:
+        """Run until an event triggers, a time is reached, or the queue drains.
+
+        * ``until`` is an :class:`Event`: run until it is processed and
+          return its value (re-raising on failure).
+        * ``until`` is a number: run until the clock reaches it.
+        * ``until`` is None: run until no events remain.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel: list[Any] = []
+
+            def _done(ev: Event) -> None:
+                sentinel.append(ev)
+
+            if until.callbacks is None:
+                sentinel.append(until)
+            else:
+                until.callbacks.append(_done)
+            while not sentinel:
+                if not self._queue:
+                    raise DeadlockError(
+                        "event queue drained before the awaited event triggered"
+                    )
+                self.step()
+            if not until._ok:
+                exc = until._value
+                until._defused = True
+                raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+            return until._value
+        # numeric horizon
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"horizon {horizon} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

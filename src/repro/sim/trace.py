@@ -1,0 +1,86 @@
+"""Event tracing for debugging and for tests that assert on causality.
+
+A :class:`TraceRecorder` is an optional sink hardware models write
+structured :class:`TraceEvent` records into (kernel launched, DMA started,
+message matched, ...).  Tests use it to verify that the simulated runtime
+actually exercised the expected code path — e.g. that a device-to-device
+copy on Summit crossed the X-Bus when the GPUs sit on different sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    time: float
+    category: str
+    label: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, category: str | None = None, label: str | None = None) -> bool:
+        if category is not None and self.category != category:
+            return False
+        if label is not None and self.label != label:
+            return False
+        return True
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records in time order."""
+
+    def __init__(self, enabled: bool = True, max_events: int | None = None) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(
+        self, time: float, category: str, label: str, **attrs: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(time, category, label, attrs))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def filter(
+        self, category: str | None = None, label: str | None = None
+    ) -> list[TraceEvent]:
+        return [ev for ev in self._events if ev.matches(category, label)]
+
+    def categories(self) -> set[str]:
+        return {ev.category for ev in self._events}
+
+    def spans(self, category: str) -> list[tuple[float, float]]:
+        """Pair up ``<label>.begin`` / ``<label>.end`` records into spans."""
+        begins: list[TraceEvent] = []
+        out: list[tuple[float, float]] = []
+        for ev in self._events:
+            if ev.category != category:
+                continue
+            if ev.label.endswith(".begin"):
+                begins.append(ev)
+            elif ev.label.endswith(".end") and begins:
+                start = begins.pop(0)
+                out.append((start.time, ev.time))
+        return out
+
+
+#: A recorder that ignores everything; handy as a default argument.
+NULL_TRACE = TraceRecorder(enabled=False)

@@ -1,0 +1,139 @@
+"""Unit helpers used throughout the package.
+
+Conventions
+-----------
+Internally everything is SI: **seconds** for time, **bytes** for sizes and
+**bytes/second** for rates.  The helpers here convert to and from the units
+the paper reports in — microseconds (``us``) and GB/s (decimal gigabytes,
+``1 GB = 1e9 B``, matching BabelStream and Comm|Scope conventions).
+
+Binary (KiB/MiB) prefixes are used by BabelStream's *problem sizes* (a
+"128 MB" vector of doubles is ``128 * 2**20`` bytes in the original code),
+so both decimal and binary parsing are provided and are explicit about
+which is which.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import UnitParseError
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+#: One microsecond in seconds.
+US = 1e-6
+#: One nanosecond in seconds.
+NS = 1e-9
+#: One millisecond in seconds.
+MS = 1e-3
+
+
+def us(value: float) -> float:
+    """Convert a value in microseconds to seconds."""
+    return value * US
+
+
+def ns(value: float) -> float:
+    """Convert a value in nanoseconds to seconds."""
+    return value * NS
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds / NS
+
+
+# ---------------------------------------------------------------------------
+# Sizes
+# ---------------------------------------------------------------------------
+
+#: Decimal prefixes (used for bandwidths: GB/s means 1e9 bytes per second).
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+#: Binary prefixes (used for buffer sizes).
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]i?B|B)?\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    None: 1,
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+    "KIB": KiB,
+    "MIB": MiB,
+    "GIB": GiB,
+    "TIB": 2**40,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size string like ``"128MiB"`` or ``"1GB"`` into bytes.
+
+    Integers pass through unchanged.  Decimal prefixes are powers of 1000,
+    binary prefixes powers of 1024.  Raises :class:`UnitParseError` on
+    malformed input.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise UnitParseError(f"negative size: {text}")
+        return text
+    m = _SIZE_RE.match(str(text))
+    if not m:
+        raise UnitParseError(f"cannot parse size: {text!r}")
+    unit = m.group("unit")
+    factor = _UNIT_FACTORS[unit.upper() if unit else None]
+    value = float(m.group("num")) * factor
+    if not math.isfinite(value):
+        raise UnitParseError(f"non-finite size: {text!r}")
+    return int(round(value))
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a rate in GB/s (decimal) to bytes/second."""
+    return value * GB
+
+
+def to_gb_per_s(bytes_per_s: float) -> float:
+    """Convert bytes/second to GB/s (decimal), as the paper reports."""
+    return bytes_per_s / GB
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count with the most natural binary prefix."""
+    if n < 0:
+        raise ValueError(f"negative byte count: {n}")
+    for factor, suffix in ((2**40, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if n >= factor and n % factor == 0:
+            return f"{n // factor}{suffix}"
+        if n >= factor:
+            return f"{n / factor:.2f}{suffix}"
+    return f"{n}B"
+
+
+def format_rate(bytes_per_s: float) -> str:
+    """Render a rate in the paper's GB/s convention."""
+    return f"{to_gb_per_s(bytes_per_s):.2f} GB/s"
+
+
+def format_latency(seconds: float) -> str:
+    """Render a latency in the paper's microsecond convention."""
+    return f"{to_us(seconds):.2f} us"

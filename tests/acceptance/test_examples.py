@@ -1,0 +1,70 @@
+"""Every shipped example must run end to end and print its story."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args, timeout=180):
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "summit")
+        assert "Summit" in out
+        assert "paper:" in out
+        assert "kernel launch" in out
+
+    def test_compare_accelerators(self):
+        out = run_example("compare_accelerators.py", "--launches", "500")
+        assert "recommendation:" in out
+        # all 8 GPU systems ranked
+        for name in ("Frontier", "Summit", "Polaris", "Tioga"):
+            assert name in out
+
+    def test_openmp_tuning(self):
+        out = run_example("openmp_tuning.py", "eagle")
+        assert "Table 1 sweep" in out
+        assert "winner:" in out
+        assert "plateau" in out
+
+    def test_custom_machine(self):
+        out = run_example("custom_machine.py")
+        assert "ArmBox" in out and "MI250X-WS" in out
+        assert "class A" in out
+
+    def test_topology_explorer(self):
+        out = run_example("topology_explorer.py", "frontier")
+        assert "Frontier node" in out
+        assert "[class D]" in out
+
+    def test_internode_scaling(self):
+        out = run_example("internode_scaling.py", "frontier", "32")
+        assert "latency vs distance" in out
+        assert "noisy neighbour" in out
+        assert "allreduce" in out
+
+    def test_halo_exchange(self):
+        out = run_example("halo_exchange.py", "10")
+        assert "us/step" in out
+        assert "Frontier" in out and "Summit" in out
+
+    def test_quickstart_rejects_cpu_machine(self):
+        path = os.path.join(EXAMPLES_DIR, "quickstart.py")
+        result = subprocess.run(
+            [sys.executable, path, "eagle"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode != 0
+        assert "CPU system" in result.stderr

@@ -1,0 +1,123 @@
+"""Failure-injection tests: broken setups must fail loudly, not
+produce plausible-looking numbers."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    GpuRuntimeError,
+    HardwareConfigError,
+    PinnedMemoryError,
+)
+from repro.gpurt.api import DeviceRuntime
+from repro.gpurt.kernel import EMPTY_KERNEL
+from repro.mpisim.placement import RankLocation
+from repro.mpisim.transport import BufferKind
+from repro.mpisim.world import MpiWorld
+
+
+class TestMpiFailures:
+    def test_missing_recv_deadlocks(self, eagle):
+        """A receive with no matching send must raise, not hang or
+        invent a latency."""
+        world = MpiWorld(eagle, [RankLocation(0), RankLocation(1)])
+
+        def lonely(ctx):
+            yield from ctx.recv(1)
+
+        def silent(ctx):
+            yield ctx.env.timeout(0)
+
+        with pytest.raises(DeadlockError):
+            world.run([lonely, silent])
+
+    def test_rendezvous_sender_without_receiver_deadlocks(self, eagle):
+        world = MpiWorld(eagle, [RankLocation(0), RankLocation(1)])
+
+        def sender(ctx):
+            yield from ctx.send(1, 1 << 20)  # rendezvous: blocks on CTS
+
+        def absent(ctx):
+            yield ctx.env.timeout(0)
+
+        with pytest.raises(DeadlockError):
+            world.run([sender, absent])
+
+    def test_crossed_protocol_detected(self, eagle):
+        """Waiting on a preposted receive that matches a rendezvous RTS
+        is a protocol violation and says so."""
+        from repro.errors import MpiSimError
+
+        world = MpiWorld(eagle, [RankLocation(0), RankLocation(1)])
+
+        def sender(ctx):
+            yield from ctx.send(1, 1 << 20)  # > eager threshold -> RTS
+
+        def preposter(ctx):
+            req = ctx.irecv(0)
+            yield from ctx.wait(req)
+
+        with pytest.raises((MpiSimError, DeadlockError)):
+            world.run([sender, preposter])
+
+
+class TestGpuFailures:
+    def test_pageable_async_copy_refused(self, frontier):
+        rt = DeviceRuntime(frontier)
+        src = rt.alloc_host(128, pinned=False)
+        dst = rt.alloc_device(0, 128)
+
+        def host():
+            yield from rt.memcpy_async(dst, src)
+
+        with pytest.raises(PinnedMemoryError):
+            rt.run(host())
+
+    def test_oom_is_immediate(self, summit):
+        rt = DeviceRuntime(summit)  # V100: 16 GiB
+        rt.alloc_device(0, 12 << 30)
+        with pytest.raises(GpuRuntimeError):
+            rt.alloc_device(0, 8 << 30)
+
+    def test_launch_on_bad_device(self, frontier):
+        rt = DeviceRuntime(frontier)
+
+        def host():
+            yield from rt.launch_kernel(EMPTY_KERNEL, device=42)
+
+        with pytest.raises(GpuRuntimeError):
+            rt.run(host())
+
+
+class TestConfigFailures:
+    def test_broken_calibration_rejected_at_build(self, frontier):
+        with pytest.raises(HardwareConfigError):
+            dataclasses.replace(
+                frontier.calibration.gpu_runtime, stream_efficiency=1.5
+            )
+
+    def test_machine_without_required_calibration(self, frontier):
+        from repro.machines.base import Machine
+
+        stripped = dataclasses.replace(
+            frontier.calibration, gpu_runtime=None
+        )
+        with pytest.raises(HardwareConfigError):
+            Machine(
+                name="Broken", rank=1, location="x", node=frontier.node,
+                software=frontier.software, calibration=stripped,
+            )
+
+    def test_topology_gpu_count_mismatch_detected(self, perlmutter):
+        from repro.hardware.node import NodeSpec
+
+        node = NodeSpec(
+            name="broken",
+            sockets=list(perlmutter.node.sockets),
+            gpus=list(perlmutter.node.gpus[:2]),   # claim 2, topology has 4
+            topology=perlmutter.node.topology,
+        )
+        with pytest.raises(HardwareConfigError):
+            node.validate()

@@ -1,0 +1,47 @@
+"""Tests for formatting helpers."""
+
+import pytest
+
+from repro.analysis.format import format_bytes_per_s, format_seconds, layout_table
+from repro.units import gb_per_s, us
+
+
+class TestLayout:
+    def test_columns_aligned(self):
+        text = layout_table(["a", "bbb"], [["xx", "y"], ["x", "yyyy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("--")
+        # all rows same width
+        assert len(set(len(l.rstrip()) for l in lines if "yyyy" in l)) == 1
+
+    def test_empty_rows(self):
+        text = layout_table(["h1", "h2"], [])
+        assert "h1" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            layout_table(["a"], [["x", "y"]])
+
+
+class TestFormatSeconds:
+    def test_nanoseconds(self):
+        assert format_seconds(5e-9) == "5.0 ns"
+
+    def test_microseconds(self):
+        assert format_seconds(us(12.02)) == "12.02 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(2.5e-3) == "2.50 ms"
+
+    def test_seconds(self):
+        assert format_seconds(1.25) == "1.250 s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestFormatRate:
+    def test_gbs(self):
+        assert format_bytes_per_s(gb_per_s(1336.35)) == "1336.35 GB/s"

@@ -1,0 +1,48 @@
+"""Tests for error metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import ratio, relative_error, within_factor
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_symmetric_in_sign(self):
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_reference(self):
+        assert relative_error(1.0, 0.0) == math.inf
+        assert relative_error(0.0, 0.0) == 0.0
+
+
+class TestRatio:
+    def test_basic(self):
+        assert ratio(20.0, 10.0) == 2.0
+
+    def test_zero_reference(self):
+        assert ratio(1.0, 0.0) == math.inf
+
+
+class TestWithinFactor:
+    def test_inside(self):
+        assert within_factor(15.0, 10.0, 2.0)
+        assert within_factor(6.0, 10.0, 2.0)
+
+    def test_outside(self):
+        assert not within_factor(25.0, 10.0, 2.0)
+        assert not within_factor(4.0, 10.0, 2.0)
+
+    def test_exact_boundary(self):
+        assert within_factor(20.0, 10.0, 2.0)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            within_factor(1.0, 1.0, 0.5)
+
+    def test_nonpositive_values(self):
+        assert within_factor(0.0, 0.0, 2.0)
+        assert not within_factor(0.0, 1.0, 2.0)

@@ -1,0 +1,145 @@
+"""Tests for the Comm|Scope reimplementation."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.commscope.iteration import (
+    MIN_BENCH_TIME,
+    IterationController,
+    run_adaptive,
+)
+from repro.benchmarks.commscope.launch import launch_latency
+from repro.benchmarks.commscope.memcpy_tests import (
+    BANDWIDTH_BYTES,
+    LATENCY_BYTES,
+    d2d_by_class,
+    memcpy_d2d,
+    memcpy_gpu_to_pinned,
+    memcpy_pinned_to_gpu,
+)
+from repro.benchmarks.commscope.runner import run_commscope
+from repro.benchmarks.commscope.sync import sync_latency
+from repro.errors import BenchmarkConfigError
+from repro.hardware.topology import LinkClass
+from repro.units import to_gb_per_s, to_us, us
+
+
+class TestIterationControl:
+    def test_grows_until_min_time(self):
+        ctrl, per_iter = run_adaptive(op_seconds=2e-6)
+        iterations, seconds = ctrl.history[-1]
+        assert seconds >= MIN_BENCH_TIME
+        assert per_iter == pytest.approx(2e-6)
+
+    def test_first_batch_is_one(self):
+        ctrl = IterationController()
+        assert ctrl.next_iterations() == 1
+
+    def test_growth_bounded(self):
+        ctrl = IterationController()
+        ctrl.record(100, 1e-9)
+        assert ctrl.next_iterations() <= 1000
+
+    def test_done_once_past_min_time(self):
+        ctrl = IterationController()
+        ctrl.record(10, 1.0)
+        assert ctrl.is_done()
+
+    def test_final_requires_history(self):
+        with pytest.raises(BenchmarkConfigError):
+            IterationController().final()
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            run_adaptive(0.0)
+
+    def test_monotone_history(self):
+        ctrl, _ = run_adaptive(1e-6)
+        iters = [n for n, _s in ctrl.history]
+        assert iters == sorted(iters)
+
+
+class TestLaunchAndSync:
+    def test_launch_matches_calibration(self, frontier):
+        value = launch_latency(frontier)
+        assert value == pytest.approx(
+            frontier.calibration.gpu_runtime.launch_overhead, rel=0.01
+        )
+
+    def test_sync_matches_calibration(self, frontier):
+        value = sync_latency(frontier)
+        assert value == pytest.approx(
+            frontier.calibration.gpu_runtime.sync_overhead, rel=0.01
+        )
+
+    def test_v100_launch_hierarchy(self, summit, perlmutter):
+        """Paper: 4-5 us on V100/CUDA-10 vs 1.5-2.2 us elsewhere."""
+        assert launch_latency(summit) > 2 * launch_latency(perlmutter)
+
+    def test_cpu_machine_rejected(self, sawtooth):
+        with pytest.raises(BenchmarkConfigError):
+            launch_latency(sawtooth)
+        with pytest.raises(BenchmarkConfigError):
+            sync_latency(sawtooth)
+
+    def test_noise_with_rng(self, frontier):
+        rng = np.random.default_rng(0)
+        values = {launch_latency(frontier, rng=rng) for _ in range(4)}
+        assert len(values) == 4
+
+
+class TestMemcpy:
+    def test_h2d_latency_at_128b(self, frontier):
+        m = memcpy_pinned_to_gpu(frontier, LATENCY_BYTES)
+        assert m.seconds == pytest.approx(
+            frontier.calibration.gpu_runtime.h2d_latency, rel=0.01
+        )
+
+    def test_d2h_slower_than_h2d(self, frontier):
+        h2d = memcpy_pinned_to_gpu(frontier, LATENCY_BYTES)
+        d2h = memcpy_gpu_to_pinned(frontier, LATENCY_BYTES)
+        assert d2h.seconds > h2d.seconds
+
+    def test_bandwidth_at_1gb(self, frontier):
+        m = memcpy_pinned_to_gpu(frontier, BANDWIDTH_BYTES)
+        assert 24 < to_gb_per_s(m.bandwidth) < 26
+
+    def test_d2d_class_ordering_rzvernal(self):
+        from repro.machines.registry import get_machine
+
+        rzv = get_machine("rzvernal")
+        results = d2d_by_class(rzv)
+        a = results[LinkClass.A].seconds
+        b = results[LinkClass.B].seconds
+        d = results[LinkClass.D].seconds
+        assert a < d < b
+
+    def test_same_device_rejected(self, frontier):
+        with pytest.raises(BenchmarkConfigError):
+            memcpy_d2d(frontier, 0, 0, LATENCY_BYTES)
+
+
+class TestFullSuite:
+    def test_run_commscope_frontier_matches_table6(self, frontier):
+        res = run_commscope(frontier)
+        assert to_us(res.launch) == pytest.approx(1.51, abs=0.02)
+        assert to_us(res.wait) == pytest.approx(0.14, abs=0.01)
+        assert to_us(res.hd_latency) == pytest.approx(12.91, abs=0.1)
+        assert to_gb_per_s(res.hd_bandwidth) == pytest.approx(24.87, abs=0.2)
+        assert to_us(res.d2d_latency[LinkClass.A]) == pytest.approx(12.02, abs=0.1)
+
+    def test_summary_text(self, frontier):
+        text = run_commscope(frontier).summary()
+        assert "Frontier" in text and "launch" in text and "D2D[A]" in text
+
+    def test_commscope_vs_osu_gap(self, frontier):
+        """Comm|Scope D2D (memcpyAsync) >> OSU D2D (RMA), paper section 4."""
+        from repro.benchmarks.osu.runner import device_latency_by_class
+
+        cs = run_commscope(frontier).d2d_latency[LinkClass.A]
+        osu = device_latency_by_class(frontier)[LinkClass.A].latency
+        assert cs > 10 * osu
+
+    def test_cpu_machine_rejected(self, sawtooth):
+        with pytest.raises(BenchmarkConfigError):
+            run_commscope(sawtooth)

@@ -1,0 +1,54 @@
+"""Tests for the Comm|Scope duplex extension."""
+
+import pytest
+
+from repro.benchmarks.commscope.duplex import duplex_gpu_gpu, duplex_host_device
+from repro.benchmarks.commscope.memcpy_tests import (
+    memcpy_d2d,
+    memcpy_pinned_to_gpu,
+)
+from repro.errors import BenchmarkConfigError
+from repro.units import to_gb_per_s
+
+ONE_GIB = 1 << 30
+
+
+class TestHostDeviceDuplex:
+    def test_directions_overlap(self, frontier):
+        """Two directions on two DMA engines: aggregate ~2x one direction."""
+        uni = memcpy_pinned_to_gpu(frontier, ONE_GIB).bandwidth
+        duplex = duplex_host_device(frontier, ONE_GIB)
+        assert duplex.aggregate_bandwidth > 1.7 * uni
+
+    def test_duplex_time_close_to_unidirectional(self, summit):
+        uni = memcpy_pinned_to_gpu(summit, ONE_GIB).seconds
+        duplex = duplex_host_device(summit, ONE_GIB)
+        # both transfers complete in roughly one transfer's time
+        assert duplex.seconds < 1.3 * uni
+
+    def test_cpu_machine_rejected(self, sawtooth):
+        with pytest.raises(BenchmarkConfigError):
+            duplex_host_device(sawtooth, ONE_GIB)
+
+
+class TestGpuGpuDuplex:
+    def test_peer_duplex_overlaps(self, perlmutter):
+        uni = memcpy_d2d(perlmutter, 0, 1, ONE_GIB)
+        duplex = duplex_gpu_gpu(perlmutter, 0, 1, ONE_GIB)
+        assert duplex.aggregate_bandwidth > 1.7 * uni.bandwidth
+
+    def test_same_device_rejected(self, frontier):
+        with pytest.raises(BenchmarkConfigError):
+            duplex_gpu_gpu(frontier, 2, 2, ONE_GIB)
+
+    def test_aggregate_reported_over_both_directions(self, frontier):
+        duplex = duplex_gpu_gpu(frontier, 0, 1, 1 << 20)
+        assert duplex.aggregate_bandwidth == pytest.approx(
+            2 * (1 << 20) / duplex.seconds
+        )
+
+    def test_nvlink_duplex_bandwidth_scale(self, perlmutter):
+        """4x NVLink3 = 100 GB/s per direction; duplex aggregate well
+        above one direction's sustained rate."""
+        duplex = duplex_gpu_gpu(perlmutter, 0, 1, ONE_GIB)
+        assert to_gb_per_s(duplex.aggregate_bandwidth) > 100

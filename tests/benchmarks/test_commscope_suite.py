@@ -1,0 +1,67 @@
+"""Tests for the upstream-named Comm|Scope test matrix (Appendix B.2)."""
+
+import pytest
+
+from repro.benchmarks.commscope.suite import (
+    run_full_suite,
+    run_named_test,
+)
+from repro.benchmarks.commscope.suite import test_names_for as names_for
+from repro.errors import BenchmarkConfigError
+from repro.machines.registry import gpu_machines
+from repro.units import to_us
+
+
+class TestNames:
+    def test_nvidia_names(self, summit):
+        names = names_for(summit)
+        assert "Comm_cudart_kernel" in names
+        assert "Comm_cudaDeviceSynchronize" in names
+        assert all(n.startswith("Comm_cuda") for n in names)
+
+    def test_amd_names(self, frontier):
+        names = names_for(frontier)
+        assert "Comm_hip_kernel" in names
+        assert "Comm_hipMemcpyAsync_GPUToGPU" in names
+        assert all(n.startswith("Comm_hip") for n in names)
+
+    def test_five_tests_everywhere(self):
+        for m in gpu_machines():
+            assert len(names_for(m)) == 5
+
+    def test_cpu_machine_rejected(self, sawtooth):
+        with pytest.raises(BenchmarkConfigError):
+            names_for(sawtooth)
+
+
+class TestExecution:
+    def test_named_launch_matches_calibration(self, frontier):
+        value = run_named_test(frontier, "Comm_hip_kernel")
+        assert to_us(value) == pytest.approx(1.51, abs=0.02)
+
+    def test_named_sync(self, perlmutter):
+        value = run_named_test(perlmutter, "Comm_cudaDeviceSynchronize")
+        assert to_us(value) == pytest.approx(0.98, abs=0.02)
+
+    def test_wrong_vendor_name_rejected(self, frontier):
+        with pytest.raises(BenchmarkConfigError):
+            run_named_test(frontier, "Comm_cudart_kernel")
+
+    def test_unknown_name_rejected(self, summit):
+        with pytest.raises(BenchmarkConfigError):
+            run_named_test(summit, "Comm_cudaMemcpy3D")
+
+    def test_full_suite_all_machines(self):
+        for m in gpu_machines():
+            results = run_full_suite(m)
+            assert len(results) == 5
+            assert all(v > 0 for v in results.values())
+
+    def test_full_suite_consistent_with_table6(self, summit):
+        results = run_full_suite(summit)
+        assert to_us(results["Comm_cudart_kernel"]) == pytest.approx(
+            4.84, abs=0.05
+        )
+        assert to_us(results["Comm_cudaMemcpyAsync_GPUToGPU"]) == pytest.approx(
+            24.97, abs=0.1
+        )

@@ -1,0 +1,123 @@
+"""Tests for the OSU latency/bandwidth reimplementation."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.osu.bandwidth import osu_bibw, osu_bw
+from repro.benchmarks.osu.latency import (
+    measure_pingpong,
+    osu_latency,
+    osu_latency_sweep,
+)
+from repro.benchmarks.osu.runner import (
+    PairKind,
+    device_latency_by_class,
+    latency_for_pair,
+)
+from repro.errors import BenchmarkConfigError
+from repro.hardware.topology import LinkClass
+from repro.mpisim.placement import on_socket_pair
+from repro.mpisim.protocols import OSU_LARGE_ITERATIONS, OSU_SMALL_ITERATIONS
+from repro.mpisim.transport import BufferKind
+from repro.units import to_us, us
+
+
+class TestLatency:
+    def test_zero_byte_matches_paper_on_socket(self, eagle):
+        res = latency_for_pair(eagle, PairKind.ON_SOCKET)
+        assert to_us(res.latency) == pytest.approx(0.17, abs=0.01)
+
+    def test_on_node_above_on_socket(self, eagle):
+        on_socket = latency_for_pair(eagle, PairKind.ON_SOCKET).latency
+        on_node = latency_for_pair(eagle, PairKind.ON_NODE).latency
+        assert on_node > on_socket
+
+    def test_sawtooth_on_node_equals_on_socket(self, sawtooth):
+        """The paper's curiosity: 0.48 / 0.48 on Sawtooth."""
+        a = latency_for_pair(sawtooth, PairKind.ON_SOCKET).latency
+        b = latency_for_pair(sawtooth, PairKind.ON_NODE).latency
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_iteration_counts_follow_osu_defaults(self, eagle):
+        small = osu_latency(eagle, on_socket_pair(eagle), nbytes=1024)
+        large = osu_latency(eagle, on_socket_pair(eagle), nbytes=1 << 20)
+        assert small.iterations == OSU_SMALL_ITERATIONS
+        assert large.iterations == OSU_LARGE_ITERATIONS
+
+    def test_latency_grows_with_size(self, eagle):
+        pair = on_socket_pair(eagle)
+        small = osu_latency(eagle, pair, nbytes=8).latency
+        large = osu_latency(eagle, pair, nbytes=1 << 22).latency
+        assert large > 2 * small
+
+    def test_sweep_sizes(self, eagle):
+        results = osu_latency_sweep(eagle, on_socket_pair(eagle), max_bytes=1024)
+        assert [r.nbytes for r in results] == [0, 1, 2, 4, 8, 16, 32, 64,
+                                               128, 256, 512, 1024]
+
+    def test_negative_size_rejected(self, eagle):
+        with pytest.raises(BenchmarkConfigError):
+            measure_pingpong(
+                eagle, on_socket_pair(eagle), -1, BufferKind.HOST
+            )
+
+    def test_noise_only_with_rng(self, eagle):
+        pair = on_socket_pair(eagle)
+        a = osu_latency(eagle, pair).latency
+        b = osu_latency(eagle, pair).latency
+        assert a == b
+        rng = np.random.default_rng(0)
+        c = osu_latency(eagle, pair, rng=rng).latency
+        assert c != a
+
+
+class TestDeviceLatency:
+    def test_classes_match_topology(self, frontier):
+        results = device_latency_by_class(frontier)
+        assert set(results) == {
+            LinkClass.A, LinkClass.B, LinkClass.C, LinkClass.D
+        }
+
+    def test_mi250x_all_classes_equal(self, frontier):
+        """Paper Table 5: Frontier A-D all 0.44 us."""
+        values = [r.latency for r in device_latency_by_class(frontier).values()]
+        assert max(values) - min(values) < us(0.01)
+
+    def test_v100_class_b_penalty(self, summit):
+        results = device_latency_by_class(summit)
+        delta = results[LinkClass.B].latency - results[LinkClass.A].latency
+        assert delta == pytest.approx(us(1.20), rel=0.05)
+
+    def test_device_on_cpu_machine_rejected(self, sawtooth):
+        with pytest.raises(BenchmarkConfigError):
+            device_latency_by_class(sawtooth)
+
+    def test_mi250x_device_close_to_host(self, frontier):
+        host = latency_for_pair(frontier, PairKind.ON_SOCKET).latency
+        dev = device_latency_by_class(frontier)[LinkClass.A].latency
+        assert dev == pytest.approx(host, abs=us(0.05))
+
+
+class TestBandwidth:
+    def test_bw_approaches_transport_limit(self, eagle):
+        from repro.mpisim.transport import SHM_BANDWIDTH_FRACTION
+
+        res = osu_bw(eagle, on_socket_pair(eagle), nbytes=4 << 20)
+        limit = eagle.node.cpu.memory.peak_bandwidth * SHM_BANDWIDTH_FRACTION
+        assert 0.5 * limit < res.bandwidth <= limit
+
+    def test_bw_grows_with_message_size(self, eagle):
+        pair = on_socket_pair(eagle)
+        small = osu_bw(eagle, pair, nbytes=512).bandwidth
+        large = osu_bw(eagle, pair, nbytes=4 << 20).bandwidth
+        assert large > small
+
+    def test_bibw_exceeds_unidirectional(self, eagle):
+        pair = on_socket_pair(eagle)
+        uni = osu_bw(eagle, pair, nbytes=1 << 20).bandwidth
+        bi = osu_bibw(eagle, pair, nbytes=1 << 20).bandwidth
+        assert bi > uni
+
+    def test_zero_size_rejected(self, eagle):
+        with pytest.raises(BenchmarkConfigError):
+            osu_bw(eagle, on_socket_pair(eagle), nbytes=0)

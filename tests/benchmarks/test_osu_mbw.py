@@ -1,0 +1,100 @@
+"""Tests for osu_mbw_mr (multi-pair bandwidth / message rate)."""
+
+import pytest
+
+from repro.benchmarks.osu.bandwidth import osu_mbw_mr
+from repro.errors import BenchmarkConfigError
+from repro.machines.registry import get_machine
+from repro.mpisim.placement import RankLocation
+from repro.mpisim.world import MpiWorld
+from repro.netsim.cluster import Cluster, ClusterRankLocation
+
+
+def intra_world(machine, n_ranks):
+    return MpiWorld(machine, [RankLocation(i) for i in range(n_ranks)])
+
+
+class TestIntraNode:
+    def test_single_pair_matches_osu_bw(self, eagle):
+        from repro.benchmarks.osu.bandwidth import osu_bw
+        from repro.mpisim.placement import on_socket_pair
+
+        world = intra_world(eagle, 2)
+        multi = osu_mbw_mr(world, [(0, 1)], 1 << 20)
+        single = osu_bw(eagle, on_socket_pair(eagle), 1 << 20)
+        assert multi.aggregate_bandwidth == pytest.approx(
+            single.bandwidth, rel=0.1
+        )
+
+    def test_two_pairs_roughly_double(self, eagle):
+        """Intra-node pairs have independent per-pair wires in the node
+        model, so aggregate scales with pair count."""
+        one = osu_mbw_mr(intra_world(eagle, 2), [(0, 1)], 1 << 20)
+        two = osu_mbw_mr(intra_world(eagle, 4), [(0, 1), (2, 3)], 1 << 20)
+        assert two.aggregate_bandwidth == pytest.approx(
+            2 * one.aggregate_bandwidth, rel=0.1
+        )
+
+    def test_message_rate_consistent(self, eagle):
+        res = osu_mbw_mr(intra_world(eagle, 2), [(0, 1)], 4096)
+        assert res.message_rate == pytest.approx(
+            res.aggregate_bandwidth / 4096
+        )
+
+    def test_shared_rank_rejected(self, eagle):
+        with pytest.raises(BenchmarkConfigError):
+            osu_mbw_mr(intra_world(eagle, 3), [(0, 1), (1, 2)], 4096)
+
+    def test_zero_size_rejected(self, eagle):
+        with pytest.raises(BenchmarkConfigError):
+            osu_mbw_mr(intra_world(eagle, 2), [(0, 1)], 0)
+
+    def test_no_pairs_rejected(self, eagle):
+        with pytest.raises(BenchmarkConfigError):
+            osu_mbw_mr(intra_world(eagle, 2), [], 4096)
+
+
+class TestInterNodeNicSharing:
+    def test_senders_on_one_node_split_injection(self):
+        """Two senders on node0 to two different nodes share node0's
+        NIC: aggregate stays at ~1x injection, not 2x."""
+        frontier = get_machine("frontier")
+        cluster = Cluster(frontier, 4)
+        placement = [
+            ClusterRankLocation(core=0, node=0),   # sender A
+            ClusterRankLocation(core=0, node=1),   # receiver A
+            ClusterRankLocation(core=1, node=0),   # sender B (same node!)
+            ClusterRankLocation(core=0, node=2),   # receiver B
+        ]
+        world = cluster.world(placement)
+        shared = osu_mbw_mr(world, [(0, 1), (2, 3)], 4 << 20)
+
+        cluster2 = Cluster(frontier, 4)
+        placement2 = [
+            ClusterRankLocation(core=0, node=0),
+            ClusterRankLocation(core=0, node=1),
+            ClusterRankLocation(core=0, node=3),   # sender B on its own node
+            ClusterRankLocation(core=0, node=2),
+        ]
+        world2 = cluster2.world(placement2)
+        separate = osu_mbw_mr(world2, [(0, 1), (2, 3)], 4 << 20)
+
+        assert shared.aggregate_bandwidth < 0.7 * separate.aggregate_bandwidth
+
+    def test_separate_nodes_scale(self):
+        frontier = get_machine("frontier")
+        cluster = Cluster(frontier, 4)
+        placement = [
+            ClusterRankLocation(core=0, node=0),
+            ClusterRankLocation(core=0, node=1),
+        ]
+        one = osu_mbw_mr(cluster.world(placement), [(0, 1)], 4 << 20)
+        cluster.reset_network()
+        placement = [
+            ClusterRankLocation(core=0, node=0),
+            ClusterRankLocation(core=0, node=1),
+            ClusterRankLocation(core=0, node=3),
+            ClusterRankLocation(core=0, node=2),
+        ]
+        two = osu_mbw_mr(cluster.world(placement), [(0, 1), (2, 3)], 4 << 20)
+        assert two.aggregate_bandwidth > 1.6 * one.aggregate_bandwidth

@@ -1,0 +1,70 @@
+"""Shared fixtures: machines and a fast study configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.machines.registry import (
+    all_machines,
+    cpu_machines,
+    get_machine,
+    gpu_machines,
+)
+
+
+@pytest.fixture(scope="session")
+def frontier():
+    return get_machine("frontier")
+
+
+@pytest.fixture(scope="session")
+def summit():
+    return get_machine("summit")
+
+
+@pytest.fixture(scope="session")
+def perlmutter():
+    return get_machine("perlmutter")
+
+
+@pytest.fixture(scope="session")
+def sawtooth():
+    return get_machine("sawtooth")
+
+
+@pytest.fixture(scope="session")
+def trinity():
+    return get_machine("trinity")
+
+
+@pytest.fixture(scope="session")
+def eagle():
+    return get_machine("eagle")
+
+
+@pytest.fixture(scope="session")
+def all_machines_list():
+    return all_machines()
+
+
+@pytest.fixture(scope="session")
+def cpu_machines_list():
+    return cpu_machines()
+
+
+@pytest.fixture(scope="session")
+def gpu_machines_list():
+    return gpu_machines()
+
+
+@pytest.fixture(scope="session")
+def fast_study():
+    """A study with few runs — statistics converge enough for tests."""
+    return Study(StudyConfig(runs=10, seed=7))
+
+
+@pytest.fixture(scope="session")
+def paper_study():
+    """The paper's full 100-run protocol (vectorised noise path)."""
+    return Study(StudyConfig(runs=100))

@@ -1,0 +1,72 @@
+"""Tests for sweep-curve generation."""
+
+import pytest
+
+from repro.core.curves import (
+    Curve,
+    CurvePoint,
+    babelstream_cpu_curve,
+    babelstream_gpu_curve,
+    osu_latency_curve,
+    render_curve,
+)
+from repro.errors import BenchmarkConfigError
+from repro.mpisim.protocols import EAGER_THRESHOLD
+from repro.mpisim.transport import BufferKind
+
+
+class TestCurveObject:
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            Curve("m", "l", "GB/s", ())
+
+    def test_knee_finds_largest_jump(self):
+        curve = Curve("m", "l", "us", (
+            CurvePoint(1, 1.0), CurvePoint(2, 1.05),
+            CurvePoint(4, 3.0), CurvePoint(8, 3.1),
+        ))
+        assert curve.knee() == 4
+
+
+class TestBabelstreamCurves:
+    def test_cpu_curve_monotone_to_plateau(self, sawtooth):
+        curve = babelstream_cpu_curve(sawtooth)
+        ys = curve.ys()
+        assert ys == sorted(ys)
+
+    def test_gpu_curve_plateau_near_table5(self, frontier):
+        curve = babelstream_gpu_curve(frontier)
+        top = curve.ys()[-1]
+        assert 1.25e12 < top < 1.4e12
+
+    def test_gpu_small_sizes_launch_bound(self, frontier):
+        curve = babelstream_gpu_curve(frontier)
+        assert curve.ys()[0] < 0.3 * curve.ys()[-1]
+
+
+class TestOsuCurve:
+    def test_latency_monotone_nondecreasing(self, eagle):
+        curve = osu_latency_curve(eagle, max_bytes=1 << 20)
+        ys = curve.ys()
+        assert all(b >= a * 0.999 for a, b in zip(ys, ys[1:]))
+
+    def test_knee_at_eager_threshold(self, eagle):
+        """The rendezvous handshake shows as the curve's largest jump
+        right above the eager threshold."""
+        curve = osu_latency_curve(eagle, max_bytes=1 << 20)
+        assert curve.knee() == EAGER_THRESHOLD * 2
+
+    def test_device_curve(self, frontier):
+        curve = osu_latency_curve(frontier, BufferKind.DEVICE, max_bytes=4096)
+        assert "device" in curve.label
+
+
+class TestRender:
+    def test_render_contains_all_sizes(self, eagle):
+        curve = osu_latency_curve(eagle, max_bytes=4096)
+        text = render_curve(curve)
+        assert "4KiB" in text and "us" in text
+
+    def test_render_bandwidth_units(self, sawtooth):
+        text = render_curve(babelstream_cpu_curve(sawtooth))
+        assert "GB/s" in text and "#" in text

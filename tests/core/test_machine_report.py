@@ -1,0 +1,50 @@
+"""Tests for per-machine report cards."""
+
+import pytest
+
+from repro.core.machine_report import all_machine_reports, machine_report
+from repro.core.study import Study, StudyConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return Study(StudyConfig(runs=2, seed=1))
+
+
+class TestMachineReport:
+    def test_gpu_machine_sections(self, frontier, tiny_study):
+        text = machine_report(frontier, tiny_study)
+        assert text.startswith("# 1. Frontier (ORNL)")
+        for fragment in (
+            "device memory bandwidth", "kernel launch", "empty-queue wait",
+            "peer copy latency [A]", "peer copy latency [D]",
+            "## Node topology",
+        ):
+            assert fragment in text
+
+    def test_cpu_machine_sections(self, sawtooth, tiny_study):
+        text = machine_report(sawtooth, tiny_study)
+        assert "single-thread bandwidth" in text
+        assert "all-core bandwidth" in text
+        assert "on-node MPI latency" in text
+        assert "kernel launch" not in text
+
+    def test_software_versions_included(self, summit, tiny_study):
+        text = machine_report(summit, tiny_study)
+        assert "cuda/11.0.3" in text
+        assert "spectrum-mpi" in text
+
+    def test_perlmutter_note_included(self, perlmutter, tiny_study):
+        assert "40GB" in machine_report(perlmutter, tiny_study)
+
+    def test_all_reports(self, tiny_study):
+        reports = all_machine_reports(tiny_study)
+        assert len(reports) == 13
+        assert "theta" in reports and "tioga" in reports
+
+    def test_artifacts_include_machine_reports(self, tiny_study):
+        from repro.harness.artifacts import build_artifacts
+
+        bundle = build_artifacts(tiny_study, curves=False)
+        assert "machines/frontier.md" in bundle.files
+        assert "machines/manzano.md" in bundle.files

@@ -1,0 +1,41 @@
+"""Tests for report generation."""
+
+from repro.core.report import full_report, inventory_section
+from repro.core.study import Study, StudyConfig
+
+
+class TestInventory:
+    def test_lists_all_machines(self):
+        text = inventory_section()
+        for name in ("Trinity", "Theta", "Sawtooth", "Eagle", "Manzano",
+                     "Frontier", "Summit", "Sierra", "Perlmutter",
+                     "Polaris", "Lassen", "RZVernal", "Tioga"):
+            assert name in text
+
+    def test_includes_software_versions(self):
+        text = inventory_section()
+        assert "cray-mpich/8.1.23" in text  # Frontier's MPI
+        assert "cuda/11.7" in text          # Perlmutter's CUDA
+
+
+class TestFullReport:
+    def test_sections_present(self):
+        study = Study(StudyConfig(runs=3, seed=1))
+        report = full_report(study)
+        for heading in (
+            "## Table 4", "## Table 5", "## Table 6", "## Table 7",
+            "### Figure 1: Frontier", "### Figure 2: Summit",
+            "### Figure 3: Perlmutter", "## Paper vs. measured",
+        ):
+            assert heading in report
+
+    def test_comparison_optional(self):
+        study = Study(StudyConfig(runs=3, seed=1))
+        report = full_report(study, include_comparison=False)
+        assert "Paper vs. measured" not in report
+
+    def test_mentions_run_count(self):
+        study = Study(StudyConfig(runs=3, seed=1))
+        assert "3 executions per binary" in full_report(
+            study, include_comparison=False
+        )

@@ -1,0 +1,59 @@
+"""Tests for measurement statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import Statistic
+from repro.errors import BenchmarkConfigError
+
+
+class TestStatistic:
+    def test_from_samples(self):
+        stat = Statistic.from_samples([1.0, 2.0, 3.0])
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.std == pytest.approx(1.0)
+        assert stat.n == 3
+
+    def test_single_sample_zero_std(self):
+        stat = Statistic.from_samples([5.0])
+        assert stat.std == 0.0
+
+    def test_from_numpy(self):
+        stat = Statistic.from_samples(np.full(10, 7.0))
+        assert stat.mean == 7.0 and stat.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            Statistic.from_samples([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            Statistic.from_samples(np.ones((2, 2)))
+
+    def test_scaled(self):
+        stat = Statistic(2e-6, 1e-8, 100).scaled(1e6)
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.std == pytest.approx(0.01)
+        assert stat.n == 100
+
+    def test_scaled_negative_factor_keeps_std_positive(self):
+        stat = Statistic(2.0, 0.5, 10).scaled(-1.0)
+        assert stat.std == 0.5
+
+    def test_format_matches_paper_style(self):
+        assert Statistic(12.36, 0.16, 100).format() == "12.36 ± 0.16"
+
+    def test_format_digits(self):
+        assert Statistic(1.234, 0.056, 5).format(digits=1) == "1.2 ± 0.1"
+
+    def test_relative_std(self):
+        assert Statistic(10.0, 0.5, 5).relative_std() == pytest.approx(0.05)
+        assert Statistic(0.0, 0.0, 5).relative_std() == 0.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            Statistic(1.0, -0.1, 5)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            Statistic(1.0, 0.1, 0)

@@ -1,0 +1,66 @@
+"""Tests for the Table 7 range summary."""
+
+import pytest
+
+from repro.core.summary import Range, build_table7, render_table7
+from repro.core.tables import build_table5, build_table6
+from repro.errors import BenchmarkConfigError
+from repro.hardware.gpu import GpuFamily
+
+
+@pytest.fixture(scope="module")
+def t7(fast_study):
+    t5 = build_table5(fast_study)
+    t6 = build_table6(fast_study)
+    return build_table7(t5, t6)
+
+
+class TestRange:
+    def test_format(self):
+        assert Range(1.5, 2.25).format() == "1.50-2.25"
+
+    def test_contains(self):
+        r = Range(1.0, 2.0)
+        assert r.contains(1.5) and not r.contains(2.5)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            Range(2.0, 1.0)
+
+
+class TestTable7:
+    def test_three_family_rows_in_order(self, t7):
+        assert [r.family for r in t7] == [
+            GpuFamily.V100, GpuFamily.A100, GpuFamily.MI250X,
+        ]
+
+    def test_v100_memory_band(self, t7):
+        v100 = t7[0]
+        assert 750 < v100.memory_bw.low <= v100.memory_bw.high < 900
+
+    def test_mpi_latency_hierarchy(self, t7):
+        v100, a100, mi250x = t7
+        assert v100.mpi_latency.low > a100.mpi_latency.high > \
+            mi250x.mpi_latency.high * 10
+
+    def test_kernel_wait_hierarchy(self, t7):
+        v100, a100, mi250x = t7
+        assert v100.kernel_wait.low > a100.kernel_wait.high \
+            > mi250x.kernel_wait.high
+
+    def test_v100_h2d_bandwidth_wins(self, t7):
+        """NVLink CPU-GPU: only the V100 machines exceed PCIe-class BW."""
+        v100, a100, mi250x = t7
+        assert v100.hd_bandwidth.high > 40
+        assert a100.hd_bandwidth.high < 30
+        assert mi250x.hd_bandwidth.high < 30
+
+    def test_d2d_excludes_class_b(self, t7):
+        """The paper's D2D column ranges over class-A means only."""
+        v100 = t7[0]
+        assert v100.d2d_latency.high < 26  # class B would push this to ~27.7
+
+    def test_render(self, t7):
+        text = render_table7(t7)
+        assert "V100" in text and "A100" in text and "MI250X" in text
+        assert "Kernel Launch" in text

@@ -1,0 +1,32 @@
+"""Tests for host/device buffers."""
+
+import pytest
+
+from repro.errors import GpuRuntimeError
+from repro.gpurt.buffers import DeviceBuffer, HostBuffer
+
+
+class TestBuffers:
+    def test_host_buffer_defaults_pageable(self):
+        buf = HostBuffer(nbytes=128)
+        assert not buf.pinned
+        assert buf.location == "host"
+
+    def test_pinned_host_buffer(self):
+        assert HostBuffer(nbytes=128, pinned=True).pinned
+
+    def test_device_buffer_location(self):
+        assert DeviceBuffer(nbytes=128, device=3).location == "gpu3"
+
+    def test_unique_ids(self):
+        a = HostBuffer(nbytes=1)
+        b = HostBuffer(nbytes=1)
+        assert a.buffer_id != b.buffer_id
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(GpuRuntimeError):
+            HostBuffer(nbytes=0)
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(GpuRuntimeError):
+            DeviceBuffer(nbytes=1, device=-1)

@@ -1,0 +1,94 @@
+"""Tests for device events."""
+
+import pytest
+
+from repro.errors import GpuRuntimeError
+from repro.gpurt.api import DeviceRuntime
+from repro.gpurt.events import DeviceEvent
+from repro.gpurt.kernel import stream_kernel
+from repro.memsys.writealloc import TRIAD
+
+
+class TestDeviceEvents:
+    def test_elapsed_brackets_kernel_time(self, frontier):
+        rt = DeviceRuntime(frontier)
+        dev = rt.devices[0]
+        spec = stream_kernel(TRIAD, 1 << 28)
+        start, stop = DeviceEvent(dev), DeviceEvent(dev)
+
+        def host():
+            yield from start.record()
+            yield from rt.launch_kernel(spec, device=0)
+            yield from stop.record()
+            yield from stop.synchronize()
+            return stop.elapsed_since(start)
+
+        elapsed = rt.run(host())
+        expected = spec.duration_on(dev)
+        assert elapsed == pytest.approx(expected, rel=0.05)
+
+    def test_device_timing_excludes_launch_overhead(self, summit):
+        """Event-to-event time is device time; the 4.8 us host launch
+        cost (Table 6) does not appear in it."""
+        rt = DeviceRuntime(summit)
+        dev = rt.devices[0]
+        spec = stream_kernel(TRIAD, 1 << 26)
+        start, stop = DeviceEvent(dev), DeviceEvent(dev)
+
+        def host():
+            t0 = rt.env.now
+            yield from start.record()
+            yield from rt.launch_kernel(spec, device=0)
+            yield from stop.record()
+            yield from stop.synchronize()
+            host_time = rt.env.now - t0
+            return stop.elapsed_since(start), host_time
+
+        device_time, host_time = rt.run(host())
+        assert host_time > device_time  # host paid launch + record costs
+
+    def test_synchronize_unrecorded_rejected(self, frontier):
+        rt = DeviceRuntime(frontier)
+        event = DeviceEvent(rt.devices[0])
+
+        def host():
+            yield from event.synchronize()
+
+        with pytest.raises(GpuRuntimeError):
+            rt.run(host())
+
+    def test_elapsed_requires_completion(self, frontier):
+        rt = DeviceRuntime(frontier)
+        a, b = DeviceEvent(rt.devices[0]), DeviceEvent(rt.devices[0])
+        with pytest.raises(GpuRuntimeError):
+            b.elapsed_since(a)
+
+    def test_foreign_stream_rejected(self, frontier):
+        rt = DeviceRuntime(frontier)
+        event = DeviceEvent(rt.devices[0])
+        other_stream = rt.devices[1].default_stream
+
+        def host():
+            yield from event.record(other_stream)
+
+        with pytest.raises(GpuRuntimeError):
+            rt.run(host())
+
+    def test_rerecord_resets_completion(self, frontier):
+        rt = DeviceRuntime(frontier)
+        dev = rt.devices[0]
+        event = DeviceEvent(dev)
+
+        def host():
+            yield from event.record()
+            yield from event.synchronize()
+            first = event.timestamp
+            yield from rt.launch_kernel(
+                stream_kernel(TRIAD, 1 << 24), device=0
+            )
+            yield from event.record()
+            yield from event.synchronize()
+            return first, event.timestamp
+
+        first, second = rt.run(host())
+        assert second > first

@@ -1,0 +1,157 @@
+"""Tests for copy planning over the topology."""
+
+import pytest
+
+from repro.errors import GpuRuntimeError, PinnedMemoryError
+from repro.gpurt.buffers import DeviceBuffer, HostBuffer
+from repro.gpurt.memcpy import (
+    CopyKind,
+    classify_d2d,
+    plan_copy,
+)
+from repro.hardware.topology import LinkClass
+from repro.units import gb_per_s, to_us
+
+
+class TestPlanKinds:
+    def test_h2d(self, frontier):
+        plan = plan_copy(
+            frontier, HostBuffer(nbytes=128, pinned=True),
+            DeviceBuffer(nbytes=128, device=0),
+        )
+        assert plan.kind == CopyKind.H2D
+        assert plan.route[0] == "cpu0"
+
+    def test_d2h(self, frontier):
+        plan = plan_copy(
+            frontier, DeviceBuffer(nbytes=128, device=0),
+            HostBuffer(nbytes=128, pinned=True),
+        )
+        assert plan.kind == CopyKind.D2H
+
+    def test_d2d(self, frontier):
+        plan = plan_copy(
+            frontier, DeviceBuffer(nbytes=128, device=0),
+            DeviceBuffer(nbytes=128, device=1),
+        )
+        assert plan.kind == CopyKind.D2D
+        assert plan.classification.link_class == LinkClass.A
+
+    def test_h2h(self, frontier):
+        plan = plan_copy(
+            frontier, HostBuffer(nbytes=128, pinned=True),
+            HostBuffer(nbytes=128, pinned=True),
+        )
+        assert plan.kind == CopyKind.H2H
+
+    def test_same_device_copy(self, frontier):
+        plan = plan_copy(
+            frontier, DeviceBuffer(nbytes=128, device=2),
+            DeviceBuffer(nbytes=128, device=2),
+        )
+        assert plan.kind == CopyKind.D2D
+        assert plan.route == ("gpu2",)
+
+
+class TestPinnedEnforcement:
+    def test_pageable_rejected_by_default(self, frontier):
+        with pytest.raises(PinnedMemoryError):
+            plan_copy(
+                frontier, HostBuffer(nbytes=128, pinned=False),
+                DeviceBuffer(nbytes=128, device=0),
+            )
+
+    def test_pageable_allowed_with_flag_but_slower(self, frontier):
+        pinned = plan_copy(
+            frontier, HostBuffer(nbytes=128, pinned=True),
+            DeviceBuffer(nbytes=128, device=0),
+        )
+        pageable = plan_copy(
+            frontier, HostBuffer(nbytes=128, pinned=False),
+            DeviceBuffer(nbytes=128, device=0),
+            require_pinned=False,
+        )
+        assert pageable.latency > pinned.latency
+        assert pageable.bandwidth < pinned.bandwidth
+
+
+class TestDurations:
+    def test_latency_dominates_small(self, frontier):
+        plan = plan_copy(
+            frontier, HostBuffer(nbytes=128, pinned=True),
+            DeviceBuffer(nbytes=128, device=0),
+        )
+        assert plan.duration(128) == pytest.approx(plan.latency, rel=1e-3)
+
+    def test_bandwidth_dominates_large(self, frontier):
+        plan = plan_copy(
+            frontier, HostBuffer(nbytes=1 << 30, pinned=True),
+            DeviceBuffer(nbytes=1 << 30, device=0),
+        )
+        expected = (1 << 30) / plan.bandwidth
+        assert plan.duration(1 << 30) == pytest.approx(expected, rel=0.01)
+
+    def test_negative_size_rejected(self, frontier):
+        plan = plan_copy(
+            frontier, HostBuffer(nbytes=128, pinned=True),
+            DeviceBuffer(nbytes=128, device=0),
+        )
+        with pytest.raises(GpuRuntimeError):
+            plan.duration(-1)
+
+
+class TestClassLatencies:
+    def test_frontier_class_ordering(self, frontier):
+        """C (single link) slowest, B next, A == D (paper Table 6)."""
+        def lat(dst):
+            return plan_copy(
+                frontier, DeviceBuffer(nbytes=128, device=0),
+                DeviceBuffer(nbytes=128, device=dst),
+            ).latency
+
+        a, b, c, d = lat(1), lat(7), lat(4), lat(2)
+        assert a < b < c
+        assert d == pytest.approx(a)
+
+    def test_classify_d2d(self, frontier):
+        assert classify_d2d(frontier, 0, 1) == LinkClass.A
+        assert classify_d2d(frontier, 0, 7) == LinkClass.B
+        assert classify_d2d(frontier, 0, 4) == LinkClass.C
+        assert classify_d2d(frontier, 0, 2) == LinkClass.D
+
+    def test_summit_cross_socket_slower(self, summit):
+        same = plan_copy(
+            summit, DeviceBuffer(nbytes=128, device=0),
+            DeviceBuffer(nbytes=128, device=1),
+        )
+        cross = plan_copy(
+            summit, DeviceBuffer(nbytes=128, device=0),
+            DeviceBuffer(nbytes=128, device=3),
+        )
+        assert cross.latency > same.latency
+        # the staged route passes both sockets
+        assert "cpu0" in cross.route and "cpu1" in cross.route
+
+
+class TestBandwidths:
+    def test_summit_h2d_uses_nvlink(self, summit):
+        plan = plan_copy(
+            summit, HostBuffer(nbytes=1 << 30, pinned=True),
+            DeviceBuffer(nbytes=1 << 30, device=0),
+        )
+        # 2 NVLink2 bricks = 50 GB/s peak; sustained ~45
+        assert gb_per_s(40) < plan.bandwidth < gb_per_s(50)
+
+    def test_perlmutter_h2d_uses_pcie(self, perlmutter):
+        plan = plan_copy(
+            perlmutter, HostBuffer(nbytes=1 << 30, pinned=True),
+            DeviceBuffer(nbytes=1 << 30, device=0),
+        )
+        assert gb_per_s(20) < plan.bandwidth < gb_per_s(32)
+
+    def test_device_out_of_range(self, frontier):
+        with pytest.raises(GpuRuntimeError):
+            plan_copy(
+                frontier, DeviceBuffer(nbytes=128, device=0),
+                DeviceBuffer(nbytes=128, device=9),
+            )

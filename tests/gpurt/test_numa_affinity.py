@@ -1,0 +1,114 @@
+"""NUMA-affinity effects on host-device transfers.
+
+On the two-socket POWER9 machines, a host buffer resident on the far
+socket reaches the GPU over the X-Bus — less bandwidth and more latency
+than the home-socket path.  Comm|Scope's libnuma support exists to pin
+buffers correctly (the paper's Appendix A notes Theta needed it
+disabled); this is the behaviour it controls.
+"""
+
+import pytest
+
+from repro.errors import GpuRuntimeError
+from repro.gpurt.api import DeviceRuntime
+from repro.gpurt.buffers import DeviceBuffer, HostBuffer
+from repro.gpurt.memcpy import plan_copy
+from repro.units import gb_per_s
+
+ONE_GIB = 1 << 30
+
+
+class TestNumaPlacement:
+    def test_home_socket_uses_nvlink(self, summit):
+        plan = plan_copy(
+            summit,
+            HostBuffer(nbytes=ONE_GIB, pinned=True, numa_node=0),
+            DeviceBuffer(nbytes=ONE_GIB, device=0),  # socket 0
+        )
+        assert "cpu1" not in plan.route
+        assert plan.bandwidth > gb_per_s(40)
+
+    def test_far_socket_crosses_xbus(self, summit):
+        plan = plan_copy(
+            summit,
+            HostBuffer(nbytes=ONE_GIB, pinned=True, numa_node=1),
+            DeviceBuffer(nbytes=ONE_GIB, device=0),  # socket 0 GPU
+        )
+        assert plan.route[0] == "cpu1"
+        assert "cpu0" in plan.route
+
+    def test_wrong_socket_costs_latency(self, summit):
+        near = plan_copy(
+            summit,
+            HostBuffer(nbytes=128, pinned=True, numa_node=0),
+            DeviceBuffer(nbytes=128, device=0),
+        )
+        far = plan_copy(
+            summit,
+            HostBuffer(nbytes=128, pinned=True, numa_node=1),
+            DeviceBuffer(nbytes=128, device=0),
+        )
+        # the extra X-Bus hop adds hardware latency
+        assert far.duration(128) > near.duration(128)
+
+    def test_far_socket_bandwidth_capped_by_path(self, summit):
+        """The far path still bottlenecks on its narrowest link."""
+        far = plan_copy(
+            summit,
+            HostBuffer(nbytes=ONE_GIB, pinned=True, numa_node=1),
+            DeviceBuffer(nbytes=ONE_GIB, device=0),
+        )
+        near = plan_copy(
+            summit,
+            HostBuffer(nbytes=ONE_GIB, pinned=True, numa_node=0),
+            DeviceBuffer(nbytes=ONE_GIB, device=0),
+        )
+        assert far.bandwidth <= near.bandwidth
+
+    def test_single_socket_machines_ignore_numa_zero(self, frontier):
+        plan = plan_copy(
+            frontier,
+            HostBuffer(nbytes=128, pinned=True, numa_node=0),
+            DeviceBuffer(nbytes=128, device=0),
+        )
+        assert plan.route[0] == "cpu0"
+
+    def test_numa_node_out_of_range(self, frontier):
+        with pytest.raises(GpuRuntimeError):
+            plan_copy(
+                frontier,
+                HostBuffer(nbytes=128, pinned=True, numa_node=1),
+                DeviceBuffer(nbytes=128, device=0),
+            )
+
+    def test_negative_numa_rejected(self):
+        with pytest.raises(GpuRuntimeError):
+            HostBuffer(nbytes=128, pinned=True, numa_node=-1)
+
+
+class TestRuntimeIntegration:
+    def test_alloc_host_numa(self, summit):
+        rt = DeviceRuntime(summit)
+        src = HostBuffer(nbytes=ONE_GIB, pinned=True, numa_node=1)
+        dst = rt.alloc_device(0, ONE_GIB)
+
+        def host():
+            t0 = rt.env.now
+            yield from rt.memcpy_async(dst, src)
+            yield from rt.stream_synchronize(0)
+            return rt.env.now - t0
+
+        far_time = rt.run(host())
+
+        rt2 = DeviceRuntime(summit)
+        src2 = HostBuffer(nbytes=ONE_GIB, pinned=True, numa_node=0)
+        dst2 = rt2.alloc_device(0, ONE_GIB)
+
+        def host2():
+            t0 = rt2.env.now
+            yield from rt2.memcpy_async(dst2, src2)
+            yield from rt2.stream_synchronize(0)
+            return rt2.env.now - t0
+
+        near_time = rt2.run(host2())
+        assert far_time > near_time

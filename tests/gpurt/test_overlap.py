@@ -1,0 +1,169 @@
+"""Copy/compute overlap and cross-stream dependency tests.
+
+Overlapping H2D copies with kernels on separate streams is the
+canonical CUDA optimisation; the simulated runtime's independent DMA
+engines and in-order streams must reproduce it.
+"""
+
+import pytest
+
+from repro.errors import GpuRuntimeError
+from repro.gpurt.api import DeviceRuntime
+from repro.gpurt.events import DeviceEvent, stream_wait_event
+from repro.gpurt.kernel import stream_kernel
+from repro.memsys.writealloc import TRIAD
+
+
+class TestCopyComputeOverlap:
+    def test_overlap_takes_max_not_sum(self, frontier):
+        """A copy on stream B overlaps a kernel on stream A.
+
+        The kernel is sized so its HBM time matches the copy's
+        PCIe-class time, making the overlap win visible.
+        """
+        nbytes = 1 << 28
+        kernel_bytes = 1 << 32  # HBM is ~50x faster than the host link
+
+        def build(runtime):
+            dev = runtime.devices[0]
+            return (
+                stream_kernel(TRIAD, kernel_bytes),
+                runtime.alloc_host(nbytes, pinned=True),
+                runtime.alloc_device(0, nbytes),
+                dev.create_stream(),
+            )
+
+        rt = DeviceRuntime(frontier)
+        spec, host_buf, dev_buf, _copy_stream = build(rt)
+
+        def serial():
+            t0 = rt.env.now
+            yield from rt.launch_kernel(spec, device=0)
+            yield from rt.device_synchronize(0)
+            yield from rt.memcpy_async(dev_buf, host_buf)
+            yield from rt.stream_synchronize(0)
+            return rt.env.now - t0
+
+        serial_time = rt.run(serial())
+
+        rt2 = DeviceRuntime(frontier)
+        spec2, host_buf2, dev_buf2, copy_stream = build(rt2)
+
+        def overlapped():
+            t0 = rt2.env.now
+            yield from rt2.launch_kernel(spec2, device=0)
+            yield from rt2.memcpy_async(dev_buf2, host_buf2, stream=copy_stream)
+            yield from rt2.device_synchronize(0)
+            return rt2.env.now - t0
+
+        overlap_time = rt2.run(overlapped())
+        assert overlap_time < 0.75 * serial_time
+
+    def test_pipelined_chunks_beat_monolithic(self, perlmutter):
+        """Classic streaming pipeline: copy chunk k+1 while computing
+        chunk k across two streams, with per-chunk compute sized to the
+        per-chunk copy time (a compute-heavy application)."""
+        from repro.gpurt.kernel import KernelSpec
+
+        total = 1 << 28
+        chunks = 4
+        chunk = total // chunks
+
+        def chunk_copy_seconds(rt):
+            h = rt.alloc_host(chunk, pinned=True)
+            d = rt.alloc_device(0, chunk)
+            seconds = rt.plan_for(d, h).duration(chunk)
+            rt.free_device(d)
+            return seconds
+
+        def run_pipeline():
+            rt = DeviceRuntime(perlmutter)
+            dev = rt.devices[0]
+            work = KernelSpec("work", lambda _d, s=chunk_copy_seconds(rt): s)
+            copy_stream = dev.create_stream()
+            compute_stream = dev.create_stream()
+            host_bufs = [rt.alloc_host(chunk, pinned=True) for _ in range(chunks)]
+            dev_bufs = [rt.alloc_device(0, chunk) for _ in range(chunks)]
+
+            def host():
+                t0 = rt.env.now
+                for h, d in zip(host_bufs, dev_bufs):
+                    yield from rt.memcpy_async(d, h, stream=copy_stream)
+                    ev = DeviceEvent(dev)
+                    yield from ev.record(copy_stream)
+                    stream_wait_event(compute_stream, ev)
+                    yield from rt.launch_kernel(
+                        work, device=0, stream=compute_stream
+                    )
+                yield from rt.stream_synchronize(0, stream=compute_stream)
+                return rt.env.now - t0
+
+            return rt.run(host())
+
+        def run_monolithic():
+            rt = DeviceRuntime(perlmutter)
+            work = KernelSpec(
+                "work", lambda _d, s=chunks * chunk_copy_seconds(rt): s
+            )
+            h = rt.alloc_host(total, pinned=True)
+            d = rt.alloc_device(0, total)
+
+            def host():
+                t0 = rt.env.now
+                yield from rt.memcpy_async(d, h)
+                yield from rt.stream_synchronize(0)
+                yield from rt.launch_kernel(work, device=0)
+                yield from rt.device_synchronize(0)
+                return rt.env.now - t0
+
+            return rt.run(host())
+
+        pipelined = run_pipeline()
+        monolithic = run_monolithic()
+        assert pipelined < 0.75 * monolithic
+
+
+class TestStreamWaitEvent:
+    def test_dependency_ordering(self, frontier):
+        """Stream B's kernel must not start before stream A's event."""
+        rt = DeviceRuntime(frontier)
+        dev = rt.devices[0]
+        a = dev.create_stream()
+        b = dev.create_stream()
+        long_kernel = stream_kernel(TRIAD, 1 << 27)
+        short_kernel = stream_kernel(TRIAD, 1 << 20)
+
+        def host():
+            yield from rt.launch_kernel(long_kernel, device=0, stream=a)
+            ev = DeviceEvent(dev)
+            yield from ev.record(a)
+            stream_wait_event(b, ev)
+            cmd = yield from rt.launch_kernel(short_kernel, device=0, stream=b)
+            finished_b = yield cmd.completion
+            return ev.timestamp, finished_b
+
+        event_time, b_done = rt.run(host())
+        assert b_done > event_time
+
+    def test_wait_on_unrecorded_event_rejected(self, frontier):
+        rt = DeviceRuntime(frontier)
+        dev = rt.devices[0]
+        with pytest.raises(GpuRuntimeError):
+            stream_wait_event(dev.default_stream, DeviceEvent(dev))
+
+    def test_cross_device_dependency(self, frontier):
+        """A stream on device 1 can wait for an event on device 0."""
+        rt = DeviceRuntime(frontier)
+        spec = stream_kernel(TRIAD, 1 << 26)
+
+        def host():
+            yield from rt.launch_kernel(spec, device=0)
+            ev = DeviceEvent(rt.devices[0])
+            yield from ev.record()
+            stream_wait_event(rt.devices[1].default_stream, ev)
+            cmd = yield from rt.launch_kernel(spec, device=1)
+            done = yield cmd.completion
+            return ev.timestamp, done
+
+        event_time, done = rt.run(host())
+        assert done > event_time

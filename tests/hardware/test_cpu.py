@@ -1,0 +1,108 @@
+"""Tests for CPU socket specs, including the KNL mesh model."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import catalog
+from repro.hardware.cpu import CpuSpec, CpuVendor
+from repro.hardware.memory import MemoryMode, ddr4
+
+
+class TestCatalogParts:
+    def test_knl_7250_geometry(self):
+        cpu = catalog.xeon_phi_7250()
+        assert cpu.cores == 68
+        assert cpu.smt == 4
+        assert cpu.hardware_threads == 272
+        assert cpu.is_manycore
+        assert cpu.memory_mode == MemoryMode.CACHE
+
+    def test_knl_7230_geometry(self):
+        cpu = catalog.xeon_phi_7230()
+        assert cpu.cores == 64
+        assert cpu.hardware_threads == 256
+
+    def test_xeon_8268(self):
+        cpu = catalog.xeon_platinum_8268(98.0)
+        assert cpu.cores == 24
+        assert cpu.smt == 2
+        assert not cpu.is_manycore
+
+    def test_xeon_6154(self):
+        cpu = catalog.xeon_gold_6154()
+        assert cpu.cores == 18
+        assert cpu.vendor == CpuVendor.INTEL
+
+    def test_epyc_parts(self):
+        assert catalog.epyc_7763().cores == 64
+        assert catalog.epyc_7532().cores == 32
+        assert catalog.epyc_trento_7a53().vendor == CpuVendor.AMD
+
+    def test_power9_parts(self):
+        assert catalog.power9_22c().cores == 22
+        assert catalog.power9_20c().cores == 20
+        assert catalog.power9_22c().vendor == CpuVendor.IBM
+
+
+class TestMesh:
+    def test_adjacent_cores_share_tile(self):
+        cpu = catalog.xeon_phi_7250()
+        assert cpu.mesh_hops(0, 1) == 0
+
+    def test_far_pair_distance_positive(self):
+        cpu = catalog.xeon_phi_7250()
+        assert cpu.mesh_hops(0, cpu.cores - 1) > 0
+
+    def test_hops_symmetric(self):
+        cpu = catalog.xeon_phi_7250()
+        assert cpu.mesh_hops(0, 50) == cpu.mesh_hops(50, 0)
+
+    def test_trinity_far_pair_is_8_hops(self):
+        # cores 0/67 -> tiles 0/(5,3): 8 Manhattan hops (calibration anchor)
+        cpu = catalog.xeon_phi_7250()
+        assert cpu.mesh_hops(0, 67) == 8
+
+    def test_theta_far_pair_is_6_hops(self):
+        cpu = catalog.xeon_phi_7230()
+        assert cpu.mesh_hops(0, 63) == 6
+
+    def test_core_out_of_range(self):
+        cpu = catalog.xeon_phi_7250()
+        with pytest.raises(HardwareConfigError):
+            cpu.mesh_position(68)
+
+    def test_non_manycore_has_no_mesh(self):
+        cpu = catalog.xeon_gold_6154()
+        with pytest.raises(HardwareConfigError):
+            cpu.mesh_hops(0, 1)
+
+    def test_diameter_at_least_far_pair(self):
+        cpu = catalog.xeon_phi_7250()
+        assert cpu.mesh_diameter_hops() >= cpu.mesh_hops(0, cpu.cores - 1)
+
+
+class TestValidation:
+    def _memory(self):
+        return ddr4(6, 2400, 96, 100)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            CpuSpec("x", CpuVendor.INTEL, 0, 1, 2.0, self._memory())
+
+    def test_zero_smt_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            CpuSpec("x", CpuVendor.INTEL, 4, 0, 2.0, self._memory())
+
+    def test_cache_mode_needs_far_memory(self):
+        with pytest.raises(HardwareConfigError):
+            CpuSpec(
+                "x", CpuVendor.INTEL, 4, 1, 2.0, self._memory(),
+                memory_mode=MemoryMode.CACHE,
+            )
+
+    def test_manycore_needs_mesh(self):
+        with pytest.raises(HardwareConfigError):
+            CpuSpec(
+                "x", CpuVendor.INTEL, 4, 1, 2.0, self._memory(),
+                is_manycore=True,
+            )

@@ -1,0 +1,58 @@
+"""Tests for GPU specs."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware.gpu import (
+    GpuFamily,
+    GpuSpec,
+    GpuVendor,
+    a100_40gb,
+    mi250x_gcd,
+    v100,
+)
+from repro.hardware.memory import hbm2
+from repro.units import GiB, gb_per_s
+
+
+class TestVendorParts:
+    def test_v100_peak_is_900(self):
+        assert v100().peak_bandwidth == gb_per_s(900.0)
+
+    def test_v100_capacity(self):
+        assert v100(16).memory.capacity == 16 * GiB
+
+    def test_a100_peak_is_1555(self):
+        assert a100_40gb().peak_bandwidth == pytest.approx(gb_per_s(1555.2))
+
+    def test_a100_is_40gb_sku(self):
+        # the paper measures only the 40 GB Perlmutter nodes
+        assert a100_40gb().memory.capacity == 40 * GiB
+
+    def test_mi250x_gcd_is_half_package(self):
+        gcd = mi250x_gcd()
+        # per-GCD peak is half of AMD's advertised 3276.8 GB/s
+        assert 2 * gcd.peak_bandwidth == pytest.approx(gb_per_s(3276.8))
+        assert gcd.dies_per_package == 2
+
+    def test_families(self):
+        assert v100().family == GpuFamily.V100
+        assert a100_40gb().family == GpuFamily.A100
+        assert mi250x_gcd().family == GpuFamily.MI250X
+
+    def test_vendors(self):
+        assert v100().vendor == GpuVendor.NVIDIA
+        assert mi250x_gcd().vendor == GpuVendor.AMD
+
+
+class TestValidation:
+    def test_zero_flops_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            GpuSpec("x", GpuVendor.NVIDIA, GpuFamily.V100, hbm2(16, 900.0), 0.0)
+
+    def test_zero_dies_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            GpuSpec(
+                "x", GpuVendor.AMD, GpuFamily.MI250X, hbm2(64, 1638.4), 1.0,
+                dies_per_package=0,
+            )

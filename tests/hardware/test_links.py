@@ -1,0 +1,56 @@
+"""Tests for link specs and the catalog."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware.links import LINK_CATALOG, LinkInstance, LinkKind, LinkSpec, link
+from repro.units import gb_per_s
+
+
+class TestCatalog:
+    def test_all_kinds_present(self):
+        for kind in LinkKind:
+            assert kind in LINK_CATALOG
+
+    def test_nvlink2_brick_is_25gbs(self):
+        assert LINK_CATALOG[LinkKind.NVLINK2].bandwidth_per_dir == gb_per_s(25.0)
+
+    def test_pcie4_is_31_5gbs(self):
+        assert LINK_CATALOG[LinkKind.PCIE4].bandwidth_per_dir == gb_per_s(31.5)
+
+    def test_xgmi_link_is_50gbs(self):
+        assert LINK_CATALOG[LinkKind.XGMI_GPU].bandwidth_per_dir == gb_per_s(50.0)
+
+    def test_cpu_gpu_if_is_36gbs(self):
+        assert LINK_CATALOG[LinkKind.XGMI_CPU_GPU].bandwidth_per_dir == gb_per_s(36.0)
+
+
+class TestLinkInstance:
+    def test_count_scales_bandwidth_not_latency(self):
+        one = link(LinkKind.NVLINK2, 1)
+        three = link(LinkKind.NVLINK2, 3)
+        assert three.bandwidth_per_dir == pytest.approx(3 * one.bandwidth_per_dir)
+        assert three.latency == one.latency
+
+    def test_describe_single(self):
+        assert link(LinkKind.PCIE4).describe() == "pcie4"
+
+    def test_describe_multi(self):
+        assert link(LinkKind.XGMI_GPU, 4).describe() == "4x xgmi-gpu"
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            LinkInstance(LINK_CATALOG[LinkKind.PCIE4], 0)
+
+    def test_kind_passthrough(self):
+        assert link(LinkKind.UPI).kind == LinkKind.UPI
+
+
+class TestLinkSpec:
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            LinkSpec(LinkKind.PCIE4, -1.0, 1e-9)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            LinkSpec(LinkKind.PCIE4, 1.0, -1e-9)

@@ -1,0 +1,76 @@
+"""Tests for memory technology specs."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware.memory import (
+    MemoryKind,
+    MemoryMode,
+    MemorySpec,
+    ddr4,
+    hbm2,
+    hbm2e,
+    mcdram,
+)
+from repro.units import GiB, gb_per_s
+
+
+class TestDdr4:
+    def test_sawtooth_peak_matches_paper(self):
+        # 6ch DDR4-2933 x 8B = 140.75 GB/s per socket (paper: 281.50 / 2)
+        spec = ddr4(6, 2933, 192, 98)
+        assert spec.peak_bandwidth == pytest.approx(gb_per_s(140.75), rel=1e-3)
+
+    def test_eagle_peak_matches_paper(self):
+        spec = ddr4(6, 2666, 96, 95)
+        assert 2 * spec.peak_bandwidth == pytest.approx(gb_per_s(255.97), rel=1e-3)
+
+    def test_capacity_in_bytes(self):
+        assert ddr4(6, 2400, 96, 100).capacity == 96 * GiB
+
+    def test_kind(self):
+        assert ddr4(6, 2400, 96, 100).kind == MemoryKind.DDR4
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            ddr4(0, 2400, 96, 100)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            ddr4(6, 0, 96, 100)
+
+
+class TestStackedMemories:
+    def test_mcdram_nominal_exceeds_intel_claim(self):
+        # Intel claims > 450 GB/s; our nominal device capability is 485
+        assert mcdram().peak_bandwidth > gb_per_s(450.0)
+
+    def test_hbm2_v100(self):
+        spec = hbm2(16, 900.0)
+        assert spec.peak_bandwidth == gb_per_s(900.0)
+        assert spec.kind == MemoryKind.HBM2
+        assert spec.is_device_memory
+
+    def test_hbm2e_mi250x_gcd(self):
+        spec = hbm2e(64, 1638.4)
+        assert spec.peak_bandwidth == pytest.approx(gb_per_s(1638.4))
+
+    def test_ddr_is_not_device_memory(self):
+        assert not ddr4(6, 2400, 96, 100).is_device_memory
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            MemorySpec(MemoryKind.DDR4, -1, 1.0, 1e-9)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            MemorySpec(MemoryKind.DDR4, 1, 0.0, 1e-9)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            MemorySpec(MemoryKind.DDR4, 1, 1.0, 0.0)
+
+    def test_memory_modes_exist(self):
+        assert {m.value for m in MemoryMode} == {"flat", "cache", "hybrid"}

@@ -1,0 +1,104 @@
+"""Tests for node assembly and hardware-thread enumeration."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import catalog
+from repro.hardware.node import NodeSpec
+
+
+def two_socket_node():
+    cpu = catalog.xeon_platinum_8268(98.0)
+    return NodeSpec(name="test-node", sockets=[cpu, cpu])
+
+
+class TestGeometry:
+    def test_totals(self):
+        node = two_socket_node()
+        assert node.total_cores == 48
+        assert node.total_hardware_threads == 96
+        assert node.n_sockets == 2
+
+    def test_socket_of_core(self):
+        node = two_socket_node()
+        assert node.socket_of_core(0) == 0
+        assert node.socket_of_core(23) == 0
+        assert node.socket_of_core(24) == 1
+
+    def test_socket_of_core_out_of_range(self):
+        with pytest.raises(HardwareConfigError):
+            two_socket_node().socket_of_core(48)
+
+    def test_host_peak_bandwidth_sums_sockets(self):
+        node = two_socket_node()
+        assert node.host_peak_bandwidth == pytest.approx(
+            2 * node.cpu.memory.peak_bandwidth
+        )
+
+
+class TestHardwareThreads:
+    def test_count(self):
+        node = two_socket_node()
+        assert len(node.hardware_threads()) == 96
+
+    def test_linux_enumeration_order(self):
+        """Sibling 0 of every core first, then sibling 1 (Linux style)."""
+        node = two_socket_node()
+        threads = node.hardware_threads()
+        assert threads[0].core == 0 and threads[0].sibling == 0
+        assert threads[47].core == 47 and threads[47].sibling == 0
+        assert threads[48].core == 0 and threads[48].sibling == 1
+
+    def test_os_ids_sequential(self):
+        node = two_socket_node()
+        assert [t.os_id for t in node.hardware_threads()] == list(range(96))
+
+    def test_lookup_matches_enumeration(self):
+        node = two_socket_node()
+        for ht in node.hardware_threads():
+            assert node.hardware_thread(ht.os_id) == ht
+
+    def test_lookup_out_of_range(self):
+        with pytest.raises(HardwareConfigError):
+            two_socket_node().hardware_thread(96)
+
+    def test_knl_smt4(self):
+        node = NodeSpec(name="knl", sockets=[catalog.xeon_phi_7250()])
+        threads = node.hardware_threads()
+        assert len(threads) == 272
+        # hwthread 68 is sibling 1 of core 0
+        assert node.hardware_thread(68).core == 0
+        assert node.hardware_thread(68).sibling == 1
+
+
+class TestNuma:
+    def test_default_numa_per_socket(self):
+        node = two_socket_node()
+        assert node.numa.n_domains == 2
+        assert not node.numa.same_socket(0, 24)
+
+    def test_knl_single_domain(self):
+        node = NodeSpec(name="knl", sockets=[catalog.xeon_phi_7250()])
+        assert node.numa.n_domains == 1
+
+
+class TestValidation:
+    def test_empty_sockets_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            NodeSpec(name="x", sockets=[])
+
+    def test_mixed_cpu_models_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            NodeSpec(
+                name="x",
+                sockets=[catalog.xeon_gold_6154(), catalog.xeon_platinum_8268(98.0)],
+            )
+
+    def test_gpu_spec_out_of_range(self):
+        node = two_socket_node()
+        with pytest.raises(HardwareConfigError):
+            node.gpu_spec(0)
+
+    def test_validate_checks_topology_gpu_count(self, frontier):
+        # the registry machines must all pass their own validation
+        frontier.node.validate()

@@ -1,0 +1,61 @@
+"""Tests for NUMA layouts."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware.numa import NumaDomain, NumaLayout, per_socket, single_domain
+
+
+class TestPerSocket:
+    def test_domain_count(self):
+        layout = per_socket(2, 24)
+        assert layout.n_domains == 2
+
+    def test_core_assignment(self):
+        layout = per_socket(2, 24)
+        assert layout.domain_of_core(0) == 0
+        assert layout.domain_of_core(23) == 0
+        assert layout.domain_of_core(24) == 1
+
+    def test_same_socket(self):
+        layout = per_socket(2, 24)
+        assert layout.same_socket(0, 1)
+        assert not layout.same_socket(0, 24)
+
+    def test_distance(self):
+        layout = per_socket(2, 24)
+        assert layout.distance(0, 1) == 0
+        assert layout.distance(0, 24) == 2
+
+    def test_all_cores(self):
+        assert per_socket(2, 3).all_cores() == [0, 1, 2, 3, 4, 5]
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            per_socket(0, 8)
+
+
+class TestSingleDomain:
+    def test_knl_quad_mode(self):
+        layout = single_domain(68)
+        assert layout.n_domains == 1
+        assert layout.same_domain(0, 67)
+        assert layout.distance(0, 67) == 0
+
+    def test_unknown_core_rejected(self):
+        layout = single_domain(4)
+        with pytest.raises(HardwareConfigError):
+            layout.domain_of_core(10)
+
+
+class TestValidation:
+    def test_overlapping_domains_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            NumaLayout([
+                NumaDomain(0, 0, (0, 1)),
+                NumaDomain(1, 1, (1, 2)),
+            ])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            NumaDomain(0, 0, ())

@@ -1,0 +1,158 @@
+"""Tests for the topology graph and the A/B/C/D classification."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.links import LinkKind, link
+from repro.hardware.topology import ComponentKind, LinkClass, Topology
+
+
+def small_topology():
+    topo = Topology()
+    topo.add_component("cpu0", ComponentKind.CPU, socket=0)
+    topo.add_component("gpu0", ComponentKind.GPU, socket=0, index=0, vendor="nvidia")
+    topo.add_component("gpu1", ComponentKind.GPU, socket=0, index=1, vendor="nvidia")
+    topo.connect("cpu0", "gpu0", link(LinkKind.PCIE4))
+    topo.connect("cpu0", "gpu1", link(LinkKind.PCIE4))
+    topo.connect("gpu0", "gpu1", link(LinkKind.NVLINK3, 4))
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_component_rejected(self):
+        topo = Topology()
+        topo.add_component("x", ComponentKind.CPU)
+        with pytest.raises(TopologyError):
+            topo.add_component("x", ComponentKind.CPU)
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_component("x", ComponentKind.CPU)
+        with pytest.raises(TopologyError):
+            topo.connect("x", "x", link(LinkKind.PCIE4))
+
+    def test_duplicate_link_rejected(self):
+        topo = small_topology()
+        with pytest.raises(TopologyError):
+            topo.connect("gpu0", "gpu1", link(LinkKind.PCIE4))
+
+    def test_unknown_component_rejected(self):
+        topo = small_topology()
+        with pytest.raises(TopologyError):
+            topo.connect("gpu0", "nope", link(LinkKind.PCIE4))
+
+
+class TestQueries:
+    def test_gpus_sorted_by_index(self):
+        assert small_topology().gpus() == ["gpu0", "gpu1"]
+
+    def test_cpus(self):
+        assert small_topology().cpus() == ["cpu0"]
+
+    def test_direct_link(self):
+        topo = small_topology()
+        l = topo.direct_link("gpu0", "gpu1")
+        assert l is not None and l.kind == LinkKind.NVLINK3
+
+    def test_no_direct_link_is_none(self):
+        topo = Topology()
+        topo.add_component("a", ComponentKind.CPU)
+        topo.add_component("b", ComponentKind.CPU)
+        assert topo.direct_link("a", "b") is None
+
+    def test_route_prefers_direct(self):
+        topo = small_topology()
+        assert topo.route("gpu0", "gpu1") == ("gpu0", "gpu1")
+
+    def test_route_to_self(self):
+        assert small_topology().route("gpu0", "gpu0") == ("gpu0",)
+
+    def test_route_no_path_raises(self):
+        topo = Topology()
+        topo.add_component("a", ComponentKind.CPU)
+        topo.add_component("b", ComponentKind.CPU)
+        with pytest.raises(TopologyError):
+            topo.route("a", "b")
+
+    def test_path_bandwidth_is_bottleneck(self):
+        topo = small_topology()
+        path = ("gpu0", "cpu0", "gpu1")
+        pcie4 = link(LinkKind.PCIE4).bandwidth_per_dir
+        assert topo.path_bandwidth(path) == pytest.approx(pcie4)
+
+    def test_path_latency_sums(self):
+        topo = small_topology()
+        path = ("gpu0", "cpu0", "gpu1")
+        assert topo.path_latency(path) == pytest.approx(
+            2 * link(LinkKind.PCIE4).latency
+        )
+
+    def test_host_of_gpu(self):
+        assert small_topology().host_of_gpu("gpu0") == "cpu0"
+
+
+class TestClassification:
+    def test_nvlink_pair_is_class_a(self):
+        topo = small_topology()
+        assert topo.classify_gpu_pair("gpu0", "gpu1").link_class == LinkClass.A
+
+    def test_classify_needs_gpus(self):
+        topo = small_topology()
+        with pytest.raises(TopologyError):
+            topo.classify_gpu_pair("cpu0", "gpu0")
+
+    def test_classify_self_rejected(self):
+        with pytest.raises(TopologyError):
+            small_topology().classify_gpu_pair("gpu0", "gpu0")
+
+    def test_xgmi_widths(self):
+        topo = Topology()
+        topo.add_component("cpu0", ComponentKind.CPU)
+        for i in range(4):
+            topo.add_component(
+                f"gpu{i}", ComponentKind.GPU, index=i, vendor="amd"
+            )
+            topo.connect("cpu0", f"gpu{i}", link(LinkKind.XGMI_CPU_GPU))
+        topo.connect("gpu0", "gpu1", link(LinkKind.XGMI_GPU, 4))
+        topo.connect("gpu0", "gpu2", link(LinkKind.XGMI_GPU, 2))
+        topo.connect("gpu0", "gpu3", link(LinkKind.XGMI_GPU, 1))
+        assert topo.classify_gpu_pair("gpu0", "gpu1").link_class == LinkClass.A
+        assert topo.classify_gpu_pair("gpu0", "gpu2").link_class == LinkClass.B
+        assert topo.classify_gpu_pair("gpu0", "gpu3").link_class == LinkClass.C
+        # no direct link on an AMD node -> class D
+        assert topo.classify_gpu_pair("gpu1", "gpu2").link_class == LinkClass.D
+
+    def test_staged_nvidia_pair_is_class_b(self, summit):
+        topo = summit.node.topology
+        cls = topo.classify_gpu_pair("gpu0", "gpu3")
+        assert cls.link_class == LinkClass.B
+        assert cls.direct is None
+        # the transfer must cross both sockets
+        assert "cpu0" in cls.route and "cpu1" in cls.route
+
+
+class TestPaperTopologies:
+    def test_frontier_class_counts(self, frontier):
+        groups = frontier.node.topology.gpu_pair_classes()
+        assert len(groups[LinkClass.A]) == 4   # in-package pairs
+        assert len(groups[LinkClass.B]) == 4   # package ring
+        assert len(groups[LinkClass.C]) == 4   # diagonals
+        assert len(groups[LinkClass.D]) == 16  # everything else
+
+    def test_frontier_every_pair_classified(self, frontier):
+        groups = frontier.node.topology.gpu_pair_classes()
+        assert sum(len(v) for v in groups.values()) == 8 * 7 // 2
+
+    def test_summit_class_counts(self, summit):
+        groups = summit.node.topology.gpu_pair_classes()
+        assert len(groups[LinkClass.A]) == 6  # 2 per-socket triangles
+        assert len(groups[LinkClass.B]) == 9  # 3x3 cross-socket
+
+    def test_perlmutter_single_class(self, perlmutter):
+        groups = perlmutter.node.topology.gpu_pair_classes()
+        assert set(groups) == {LinkClass.A}
+        assert len(groups[LinkClass.A]) == 6
+
+    def test_representative_pairs_cover_classes(self, frontier):
+        reps = frontier.node.topology.representative_pairs()
+        assert set(reps) == {LinkClass.A, LinkClass.B, LinkClass.C, LinkClass.D}

@@ -1,0 +1,61 @@
+"""Tests for artifact bundle generation."""
+
+import os
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.harness.artifacts import ArtifactBundle, build_artifacts, write_artifacts
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_artifacts(Study(StudyConfig(runs=2, seed=1)), curves=False)
+
+
+class TestBundle:
+    def test_tables_present(self, bundle):
+        for n in (4, 5, 6, 7):
+            assert f"tables/table{n}.txt" in bundle.files
+
+    def test_figures_present(self, bundle):
+        for n in (1, 2, 3):
+            assert f"figures/figure{n}.txt" in bundle.files
+            assert f"figures/figure{n}.dot" in bundle.files
+
+    def test_report_and_comparison(self, bundle):
+        assert "report.md" in bundle.files
+        assert "comparison.md" in bundle.files
+        assert "RelErr" in bundle.files["comparison.md"]
+
+    def test_contents_newline_terminated(self, bundle):
+        for content in bundle.files.values():
+            assert content.endswith("\n")
+
+    def test_duplicate_path_rejected(self):
+        b = ArtifactBundle()
+        b.add("x.txt", "hello")
+        with pytest.raises(ValueError):
+            b.add("x.txt", "again")
+
+    def test_curves_included_when_asked(self):
+        full = build_artifacts(Study(StudyConfig(runs=2, seed=1)), curves=True)
+        assert any(p.startswith("curves/") for p in full.files)
+        # one CPU babelstream + osu per CPU machine, one per GPU machine
+        assert sum(1 for p in full.files if p.startswith("curves/")) == 5 * 2 + 8
+
+
+class TestWrite:
+    def test_write_creates_tree(self, tmp_path, bundle):
+        written = bundle.write_to(str(tmp_path))
+        assert len(written) == len(bundle.files)
+        for path in written:
+            assert os.path.isfile(path)
+
+    def test_write_artifacts_end_to_end(self, tmp_path):
+        paths = write_artifacts(
+            str(tmp_path), Study(StudyConfig(runs=2, seed=1)), curves=False
+        )
+        table4 = next(p for p in paths if p.endswith("table4.txt"))
+        with open(table4) as fh:
+            assert "29. Trinity" in fh.read()

@@ -1,0 +1,96 @@
+"""Tests for the command-line harness."""
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.harness.cli import TARGETS, main, run_target
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return Study(StudyConfig(runs=2, seed=1))
+
+
+class TestRunTarget:
+    def test_table1_lists_omp_combos(self, tiny_study):
+        text = run_target("table1", tiny_study)
+        assert "OMP_NUM_THREADS" in text
+        assert "#cores" in text and "#threads" in text
+        assert '"spread"' in text
+
+    def test_table2_rows(self, tiny_study):
+        text = run_target("table2", tiny_study)
+        assert "29. Trinity" in text and "141. Manzano" in text
+
+    def test_table3_rows(self, tiny_study):
+        text = run_target("table3", tiny_study)
+        assert "1. Frontier" in text and "MI250X" in text
+
+    def test_table4(self, tiny_study):
+        assert "109. Sawtooth" in run_target("table4", tiny_study)
+
+    def test_table5(self, tiny_study):
+        assert "Host-to-Host" in run_target("table5", tiny_study)
+
+    def test_table6(self, tiny_study):
+        assert "Launch (us)" in run_target("table6", tiny_study)
+
+    def test_table7(self, tiny_study):
+        text = run_target("table7", tiny_study)
+        assert "V100" in text and "MI250X" in text
+
+    def test_table8(self, tiny_study):
+        assert "intel-mpi/2019.0.117" in run_target("table8", tiny_study)
+
+    def test_table9(self, tiny_study):
+        assert "cuda/11.0.3" in run_target("table9", tiny_study)
+
+    def test_figures(self, tiny_study):
+        assert "Frontier node" in run_target("figure1", tiny_study)
+        assert "Summit node" in run_target("figure2", tiny_study)
+        assert "Perlmutter node" in run_target("figure3", tiny_study)
+
+    def test_compare(self, tiny_study):
+        assert "RelErr" in run_target("compare", tiny_study)
+
+    def test_unknown_target(self, tiny_study):
+        with pytest.raises(ValueError):
+            run_target("table99", tiny_study)
+
+
+class TestMain:
+    def test_single_target(self, capsys):
+        assert main(["table2", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "==> table2" in out
+
+    def test_multiple_targets(self, capsys):
+        assert main(["table2", "table3", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "==> table2" in out and "==> table3" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "out.txt"
+        assert main(["table2", "--runs", "2", "--output", str(path)]) == 0
+        assert "Trinity" in path.read_text()
+
+    def test_bad_target_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-table"])
+
+    def test_every_advertised_target_runs(self, capsys, tiny_study):
+        for target in TARGETS:
+            if target in ("all", "report", "artifacts", "sweeps"):
+                continue  # covered elsewhere / too slow to repeat here
+            assert run_target(target, tiny_study)
+
+    def test_internode_target(self, tiny_study):
+        text = run_target("internode", tiny_study)
+        assert "Slingshot-11" in text and "Frontier" in text
+
+    def test_artifacts_target_writes_bundle(self, tmp_path, capsys):
+        assert main(["artifacts", "--runs", "2",
+                     "--output", str(tmp_path / "bundle")]) == 0
+        out = capsys.readouterr().out
+        assert "files under" in out
+        assert (tmp_path / "bundle" / "tables" / "table4.txt").exists()

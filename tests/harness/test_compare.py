@@ -1,0 +1,78 @@
+"""Tests for the paper-vs-measured comparison engine."""
+
+import pytest
+
+from repro.core.tables import build_table4, build_table5, build_table6
+from repro.harness.compare import (
+    ComparisonRow,
+    compare_table4,
+    compare_table5,
+    compare_table6,
+    render_comparison,
+    worst_relative_error,
+)
+from repro.harness.paper_values import PAPER_TABLE4, PAPER_TABLE5, PAPER_TABLE6
+
+
+class TestComparisonRow:
+    def test_rel_error(self):
+        row = ComparisonRow("T4", "X", "m", 10.0, 11.0)
+        assert row.rel_error == pytest.approx(0.1)
+
+    def test_cells(self):
+        row = ComparisonRow("T4", "X", "m", 10.0, 11.0)
+        assert row.cells() == ["T4", "X", "m", "10.00", "11.00", "10.0%"]
+
+
+class TestCoverage:
+    def test_table4_covers_every_cell(self, fast_study):
+        rows = compare_table4(build_table4(fast_study))
+        # 5 machines x 4 metrics
+        assert len(rows) == 20
+
+    def test_table5_covers_every_cell(self, fast_study):
+        rows = compare_table5(build_table5(fast_study))
+        d2d_cells = sum(len(v["d2d"]) for v in PAPER_TABLE5.values())
+        assert len(rows) == 8 * 2 + d2d_cells
+
+    def test_table6_covers_every_cell(self, fast_study):
+        rows = compare_table6(build_table6(fast_study))
+        d2d_cells = sum(len(v["d2d"]) for v in PAPER_TABLE6.values())
+        assert len(rows) == 8 * 4 + d2d_cells
+
+
+class TestAgreement:
+    """The simulation must track the paper's numbers closely."""
+
+    def test_all_cells_within_5_percent(self, fast_study):
+        rows = (
+            compare_table4(build_table4(fast_study))
+            + compare_table5(build_table5(fast_study))
+            + compare_table6(build_table6(fast_study))
+        )
+        worst = worst_relative_error(rows)
+        assert worst.rel_error < 0.05, worst
+
+    def test_paper_values_are_pure_reference(self):
+        """Sanity: the tables hold published (mean, std) pairs as floats."""
+        for table in (PAPER_TABLE4,):
+            for machine, metrics in table.items():
+                for metric, (mean, std) in metrics.items():
+                    assert mean >= 0 and std >= 0
+
+
+class TestRendering:
+    def test_text_layout(self, fast_study):
+        rows = compare_table4(build_table4(fast_study))
+        text = render_comparison(rows)
+        assert "Machine" in text and "RelErr" in text
+
+    def test_markdown_layout(self, fast_study):
+        rows = compare_table4(build_table4(fast_study))
+        md = render_comparison(rows, markdown=True)
+        assert md.startswith("| Table |")
+        assert "|---|" in md
+
+    def test_worst_needs_rows(self):
+        with pytest.raises(ValueError):
+            worst_relative_error([])

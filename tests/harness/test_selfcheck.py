@@ -1,0 +1,59 @@
+"""Tests for the release self-check."""
+
+from repro.harness.selfcheck import (
+    ALL_CHECKS,
+    Finding,
+    check_calibrations,
+    check_fabrics,
+    check_kernels,
+    check_nodes,
+    check_registry,
+    check_topologies,
+    render_selfcheck,
+    run_selfcheck,
+)
+
+
+class TestHealthyRegistry:
+    def test_no_findings(self):
+        assert run_selfcheck() == []
+
+    def test_each_family_clean(self):
+        for check in ALL_CHECKS:
+            assert check() == [], check.__name__
+
+    def test_render_healthy(self):
+        text = render_selfcheck([])
+        assert "passed" in text and "13 machines" in text
+
+    def test_render_findings(self):
+        findings = [Finding("Frontier", "topology", "bad classes")]
+        text = render_selfcheck(findings)
+        assert "[Frontier] topology: bad classes" in text
+
+    def test_cli_target(self):
+        from repro.core.study import Study, StudyConfig
+        from repro.harness.cli import run_target
+
+        text = run_target("check", Study(StudyConfig(runs=1)))
+        assert "passed" in text
+
+
+class TestIndividualChecks:
+    def test_registry_counts(self):
+        assert check_registry() == []
+
+    def test_nodes_validate(self):
+        assert check_nodes() == []
+
+    def test_topologies_match_paper_classes(self):
+        assert check_topologies() == []
+
+    def test_calibrations_sane(self):
+        assert check_calibrations() == []
+
+    def test_fabric_coverage(self):
+        assert check_fabrics() == []
+
+    def test_kernels_compute(self):
+        assert check_kernels() == []

@@ -1,0 +1,118 @@
+"""Tests for calibration record validation and semantics."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware.topology import LinkClass
+from repro.machines.calibration import (
+    CpuStreamCalibration,
+    GpuMpiMode,
+    GpuRuntimeCalibration,
+    MpiCalibration,
+)
+from repro.machines.registry import get_machine, gpu_machines
+from repro.units import us
+
+
+class TestCpuStreamCalibration:
+    def test_valid(self):
+        cal = CpuStreamCalibration(mlp=20.0, allcore_efficiency=0.85)
+        assert cal.anomaly_factor == 1.0
+        assert cal.write_allocate
+
+    def test_zero_mlp_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            CpuStreamCalibration(mlp=0.0, allcore_efficiency=0.85)
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(HardwareConfigError):
+            CpuStreamCalibration(mlp=20.0, allcore_efficiency=1.5)
+        with pytest.raises(HardwareConfigError):
+            CpuStreamCalibration(mlp=20.0, allcore_efficiency=0.0)
+
+    def test_anomaly_bounds(self):
+        with pytest.raises(HardwareConfigError):
+            CpuStreamCalibration(mlp=20.0, allcore_efficiency=0.8, anomaly_factor=0.0)
+
+    def test_only_theta_has_anomaly(self):
+        from repro.machines.registry import cpu_machines
+
+        for m in cpu_machines():
+            factor = m.calibration.cpu_stream.anomaly_factor
+            if m.name == "Theta":
+                assert factor < 1.0
+            else:
+                assert factor == 1.0
+
+
+class TestMpiCalibration:
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            MpiCalibration(sw_overhead=-1e-6)
+
+    def test_zero_hw_exchange_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            MpiCalibration(sw_overhead=1e-7, hw_exchange=0.0)
+
+    def test_mi250x_machines_use_rma(self):
+        for name in ("frontier", "rzvernal", "tioga"):
+            assert get_machine(name).calibration.mpi.gpu_mode == GpuMpiMode.RMA
+
+    def test_cuda_machines_use_pipeline(self):
+        for name in ("summit", "sierra", "perlmutter", "polaris", "lassen"):
+            assert get_machine(name).calibration.mpi.gpu_mode == GpuMpiMode.PIPELINE
+
+    def test_pipeline_overheads_dominate_host_latency(self):
+        """The pipeline overhead is the 10-18 us gap in Table 5."""
+        for name in ("summit", "sierra", "perlmutter", "polaris", "lassen"):
+            cal = get_machine(name).calibration.mpi
+            assert cal.gpu_pipeline_overhead > 10 * cal.sw_overhead
+
+
+class TestGpuRuntimeCalibration:
+    def _valid_kwargs(self):
+        return dict(
+            launch_overhead=us(2.0), sync_overhead=us(1.0),
+            h2d_latency=us(5.0), d2h_latency=us(6.0),
+            h2d_bw_efficiency=0.8, d2d_base=us(12.0),
+        )
+
+    def test_valid(self):
+        cal = GpuRuntimeCalibration(**self._valid_kwargs())
+        assert cal.class_extra(LinkClass.A) == 0.0
+
+    def test_class_extra_lookup(self):
+        kwargs = self._valid_kwargs()
+        kwargs["d2d_class_extra"] = {LinkClass.B: us(0.5)}
+        cal = GpuRuntimeCalibration(**kwargs)
+        assert cal.class_extra(LinkClass.B) == pytest.approx(us(0.5))
+        assert cal.class_extra(LinkClass.C) == 0.0
+
+    def test_nonpositive_costs_rejected(self):
+        for field in ("launch_overhead", "sync_overhead", "h2d_latency",
+                      "d2h_latency", "d2d_base"):
+            kwargs = self._valid_kwargs()
+            kwargs[field] = 0.0
+            with pytest.raises(HardwareConfigError):
+                GpuRuntimeCalibration(**kwargs)
+
+    def test_efficiency_bounds(self):
+        kwargs = self._valid_kwargs()
+        kwargs["stream_efficiency"] = 1.2
+        with pytest.raises(HardwareConfigError):
+            GpuRuntimeCalibration(**kwargs)
+
+    def test_stream_efficiencies_below_one(self):
+        """No machine may 'achieve' more than vendor peak."""
+        for m in gpu_machines():
+            assert 0.5 < m.calibration.gpu_runtime.stream_efficiency < 1.0
+
+    def test_driver_generation_launch_grouping(self):
+        """CUDA-10-era POWER9 machines launch 2x slower than the rest."""
+        slow = {"Summit", "Sierra", "Lassen"}
+        for m in gpu_machines():
+            launch = m.calibration.gpu_runtime.launch_overhead
+            if m.name in slow:
+                assert launch > us(4.0)
+            else:
+                assert launch < us(2.5)

@@ -1,0 +1,152 @@
+"""Deep structural checks of the DOE node models against the paper's
+figures and the machine documentation they cite."""
+
+import pytest
+
+from repro.hardware.links import LinkKind
+from repro.hardware.topology import LinkClass
+from repro.machines.registry import get_machine
+from repro.units import gb_per_s
+
+
+class TestFrontierNode:
+    """Figure 1: 4 MI250X packages (8 GCDs) on one EPYC socket."""
+
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return get_machine("frontier").node.topology
+
+    def test_cpu_links_every_gcd(self, topo):
+        for g in range(8):
+            link = topo.direct_link("cpu0", f"gpu{g}")
+            assert link is not None
+            assert link.kind == LinkKind.XGMI_CPU_GPU
+
+    def test_in_package_quad_links(self, topo):
+        for a, b in ((0, 1), (2, 3), (4, 5), (6, 7)):
+            link = topo.direct_link(f"gpu{a}", f"gpu{b}")
+            assert link.kind == LinkKind.XGMI_GPU and link.count == 4
+            assert link.bandwidth_per_dir == gb_per_s(200.0)
+
+    def test_every_gcd_has_one_quad_partner(self, topo):
+        for g in range(8):
+            quads = [
+                other for other, link in topo.neighbors(f"gpu{g}")
+                if link.kind == LinkKind.XGMI_GPU and link.count == 4
+            ]
+            assert len(quads) == 1
+
+    def test_packages_recorded(self, topo):
+        for g in range(8):
+            assert topo.component(f"gpu{g}").attrs["package"] == g // 2
+
+    def test_class_d_routes_stay_on_gpus(self, topo):
+        """Staged pairs route through a peer GCD, not the host."""
+        for a, b in topo.gpu_pair_classes()[LinkClass.D]:
+            route = topo.classify_gpu_pair(a, b).route
+            assert all(r.startswith("gpu") for r in route), (a, b, route)
+
+
+class TestSummitNode:
+    """Figure 2: 2 POWER9 + 6 V100, NVLink triangles per socket."""
+
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return get_machine("summit").node.topology
+
+    def test_three_gpus_per_socket(self, topo):
+        by_socket = {}
+        for gpu in topo.gpus():
+            by_socket.setdefault(topo.component(gpu).socket, []).append(gpu)
+        assert {len(v) for v in by_socket.values()} == {3}
+
+    def test_cpu_gpu_nvlink_two_bricks(self, topo):
+        link = topo.direct_link("cpu0", "gpu0")
+        assert link.kind == LinkKind.NVLINK2 and link.count == 2
+        assert link.bandwidth_per_dir == gb_per_s(50.0)
+
+    def test_per_socket_triangle(self, topo):
+        for trio in (("gpu0", "gpu1", "gpu2"), ("gpu3", "gpu4", "gpu5")):
+            for i, a in enumerate(trio):
+                for b in trio[i + 1:]:
+                    link = topo.direct_link(a, b)
+                    assert link.kind == LinkKind.NVLINK2 and link.count == 2
+
+    def test_xbus_joins_sockets(self, topo):
+        link = topo.direct_link("cpu0", "cpu1")
+        assert link.kind == LinkKind.XBUS
+
+    def test_v100_nvlink_brick_budget(self, topo):
+        """Each V100 spends exactly its 6 NVLink2 bricks."""
+        for gpu in topo.gpus():
+            bricks = sum(
+                link.count for _other, link in topo.neighbors(gpu)
+                if link.kind == LinkKind.NVLINK2
+            )
+            assert bricks == 6
+
+
+class TestSierraNode:
+    """Sierra/Lassen: 4 V100s, 3 bricks per edge (hence the 63 GB/s
+    H2D figures in Table 6)."""
+
+    def test_three_brick_cpu_links(self):
+        topo = get_machine("sierra").node.topology
+        link = topo.direct_link("cpu0", "gpu0")
+        assert link.count == 3
+        assert link.bandwidth_per_dir == gb_per_s(75.0)
+
+    def test_v100_brick_budget(self):
+        topo = get_machine("sierra").node.topology
+        for gpu in topo.gpus():
+            bricks = sum(
+                link.count for _other, link in topo.neighbors(gpu)
+                if link.kind == LinkKind.NVLINK2
+            )
+            assert bricks == 6
+
+    def test_lassen_same_node_type(self):
+        sierra = get_machine("sierra").node.topology
+        lassen = get_machine("lassen").node.topology
+        assert sierra.gpu_pair_classes().keys() == \
+            lassen.gpu_pair_classes().keys()
+
+
+class TestPerlmutterNode:
+    """Figure 3: four A100s all-to-all over 4x NVLink3, PCIe4 host."""
+
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return get_machine("perlmutter").node.topology
+
+    def test_nv4_everywhere(self, topo):
+        for a in range(4):
+            for b in range(a + 1, 4):
+                link = topo.direct_link(f"gpu{a}", f"gpu{b}")
+                assert link.kind == LinkKind.NVLINK3 and link.count == 4
+
+    def test_pcie4_host_links(self, topo):
+        for g in range(4):
+            assert topo.direct_link("cpu0", f"gpu{g}").kind == LinkKind.PCIE4
+
+    def test_polaris_same_shape(self):
+        perl = get_machine("perlmutter").node.topology
+        pol = get_machine("polaris").node.topology
+        assert perl.gpu_pair_classes().keys() == pol.gpu_pair_classes().keys()
+
+
+class TestKnlNodes:
+    def test_trinity_single_socket_68_cores(self, trinity):
+        assert trinity.node.n_sockets == 1
+        assert trinity.node.total_cores == 68
+        assert trinity.node.numa.n_domains == 1  # quad mode
+
+    def test_mcdram_fronting_ddr(self, trinity):
+        cpu = trinity.node.cpu
+        assert cpu.memory.kind.value == "mcdram"
+        assert cpu.far_memory is not None
+        assert cpu.far_memory.kind.value == "ddr4"
+        # DDR4-2400 x 6ch = 115.2 GB/s behind the cache
+        assert cpu.far_memory.peak_bandwidth == pytest.approx(
+            gb_per_s(115.2), rel=1e-3
+        )

@@ -1,0 +1,119 @@
+"""Tests for the machine registry (paper Tables 2 and 3)."""
+
+import pytest
+
+from repro.errors import UnknownMachineError
+from repro.machines.base import MachineClass
+from repro.machines.registry import (
+    all_machines,
+    by_rank,
+    cpu_machines,
+    get_machine,
+    gpu_machines,
+    machine_names,
+)
+
+#: rank, name, location, CPU from Table 2
+TABLE2 = [
+    (29, "Trinity", "LANL", "Xeon Phi 7250"),
+    (94, "Theta", "ANL", "Xeon Phi 7230"),
+    (109, "Sawtooth", "INL", "Xeon Platinum 8268"),
+    (127, "Eagle", "NREL", "Xeon Gold 6154"),
+    (141, "Manzano", "SNL", "Xeon Platinum 8268"),
+]
+
+#: rank, name, location, accelerator family, GPUs per node from Table 3
+TABLE3 = [
+    (1, "Frontier", "ORNL", "MI250X", 8),
+    (5, "Summit", "ORNL", "V100", 6),
+    (6, "Sierra", "LLNL", "V100", 4),
+    (8, "Perlmutter", "NERSC", "A100", 4),
+    (19, "Polaris", "ANL", "A100", 4),
+    (36, "Lassen", "LLNL", "V100", 4),
+    (116, "RZVernal", "LLNL", "MI250X", 8),
+    (132, "Tioga", "LLNL", "MI250X", 8),
+]
+
+
+class TestInventory:
+    def test_thirteen_machines(self):
+        assert len(all_machines()) == 13
+
+    def test_table2_rows(self):
+        machines = cpu_machines()
+        assert len(machines) == 5
+        for m, (rank, name, location, cpu) in zip(machines, TABLE2):
+            assert m.rank == rank
+            assert m.name == name
+            assert m.location == location
+            assert m.cpu_model == cpu
+            assert m.machine_class == MachineClass.CPU
+
+    def test_table3_rows(self):
+        machines = gpu_machines()
+        assert len(machines) == 8
+        for m, (rank, name, location, family, n_gpus) in zip(machines, TABLE3):
+            assert m.rank == rank
+            assert m.name == name
+            assert m.location == location
+            assert m.accelerator_family == family
+            assert m.node.n_gpus == n_gpus
+            assert m.machine_class == MachineClass.GPU
+
+    def test_ranked_name_format(self):
+        assert get_machine("frontier").ranked_name() == "1. Frontier"
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_machine("FRONTIER") is get_machine("frontier")
+
+    def test_cached_instances(self):
+        assert get_machine("summit") is get_machine("summit")
+
+    def test_unknown_machine(self):
+        with pytest.raises(UnknownMachineError):
+            get_machine("fugaku")
+
+    def test_by_rank(self):
+        assert by_rank(1).name == "Frontier"
+        assert by_rank(141).name == "Manzano"
+
+    def test_by_unknown_rank(self):
+        with pytest.raises(UnknownMachineError):
+            by_rank(2)
+
+    def test_machine_names_complete(self):
+        names = machine_names()
+        assert len(names) == 13
+        for name in names:
+            assert get_machine(name).name.lower() == name
+
+
+class TestNodeConsistency:
+    def test_every_machine_validates(self, all_machines_list):
+        for m in all_machines_list:
+            m.node.validate()
+
+    def test_cpu_machines_have_no_gpus(self, cpu_machines_list):
+        for m in cpu_machines_list:
+            assert not m.node.has_gpus
+            assert m.accelerator_model == ""
+
+    def test_gpu_machines_have_gpu_calibration(self, gpu_machines_list):
+        for m in gpu_machines_list:
+            assert m.calibration.gpu_runtime is not None
+
+    def test_all_machines_have_mpi_calibration(self, all_machines_list):
+        for m in all_machines_list:
+            assert m.calibration.mpi is not None
+
+    def test_mi250x_nodes_have_eight_gcds(self):
+        for name in ("frontier", "rzvernal", "tioga"):
+            m = get_machine(name)
+            assert m.node.n_gpus == 8
+            assert m.node.gpus[0].dies_per_package == 2
+
+    def test_perlmutter_is_40gb_sku(self, perlmutter):
+        assert perlmutter.node.gpus[0].memory.capacity == 40 * 2**30
+        assert "40GB" in perlmutter.notes

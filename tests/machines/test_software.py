@@ -1,0 +1,79 @@
+"""Tests for the software environments (paper Tables 8 and 9)."""
+
+from repro.machines.registry import cpu_machines, get_machine, gpu_machines
+from repro.machines.software import DeviceRuntimeFamily, MpiFlavor
+
+#: Table 8 rows
+TABLE8 = {
+    "Trinity": ("intel/2022.0.2", "cray-mpich/7.7.20"),
+    "Theta": ("intel/19.1.0.166", "cray-mpich/7.7.14"),
+    "Sawtooth": ("intel/19.0.5", "intel-mpi/2019.0.117"),
+    "Eagle": ("gcc/8.4.0", "openmpi/4.1.0"),
+    "Manzano": ("intel/16.0", "openmpi/1.10"),
+}
+
+#: Table 9 rows (compiler, device library, MPI)
+TABLE9 = {
+    "Frontier": ("amd-mixed/5.3.0", "amd-mixed/5.3.0", "cray-mpich/8.1.23"),
+    "Summit": ("xl/16.1.1-10", "cuda/11.0.3", "spectrum-mpi/10.4.0.3-20210112"),
+    "Sierra": ("gcc/8.3.1", "cuda/10.1.243", "spectrum-mpi/rolling-release"),
+    "Perlmutter": ("gcc/11.2.0", "cuda/11.7", "cray-mpich/8.1.25"),
+    "Polaris": ("nvhpc/21.9", "cuda/11.4", "cray-mpich/8.1.16"),
+    "Lassen": ("gcc/7.3.1", "cuda/10.1.243", "spectrum-mpi/rolling-release"),
+    "RZVernal": ("amd/5.6.0", "amd/5.6.0", "cray-mpich/8.1.26"),
+    "Tioga": ("amd/5.6.0", "amd/5.6.0", "cray-mpich/8.1.26"),
+}
+
+
+class TestTable8:
+    def test_rows(self):
+        for m in cpu_machines():
+            compiler, mpi = TABLE8[m.name]
+            assert m.software.compiler == compiler
+            assert m.software.mpi == mpi
+
+    def test_cpu_machines_have_no_device_runtime(self):
+        for m in cpu_machines():
+            assert m.software.device_runtime == DeviceRuntimeFamily.NONE
+            assert m.software.device_library == ""
+
+
+class TestTable9:
+    def test_rows(self):
+        for m in gpu_machines():
+            compiler, device, mpi = TABLE9[m.name]
+            assert m.software.compiler == compiler
+            assert m.software.device_library == device
+            assert m.software.mpi == mpi
+
+    def test_runtime_families(self):
+        assert get_machine("summit").software.device_runtime == DeviceRuntimeFamily.CUDA
+        assert get_machine("frontier").software.device_runtime == DeviceRuntimeFamily.ROCM
+
+
+class TestVersionParsing:
+    def test_cuda_version(self):
+        assert get_machine("polaris").software.device_runtime_version == (11, 4)
+
+    def test_cuda_patch_version(self):
+        assert get_machine("summit").software.device_runtime_version == (11, 0, 3)
+
+    def test_rocm_version(self):
+        assert get_machine("frontier").software.device_runtime_version == (5, 3, 0)
+
+    def test_no_device_library(self):
+        assert get_machine("eagle").software.device_runtime_version == ()
+
+
+class TestFlavors:
+    def test_mpi_flavors(self):
+        assert get_machine("sawtooth").software.mpi_flavor == MpiFlavor.INTEL_MPI
+        assert get_machine("eagle").software.mpi_flavor == MpiFlavor.OPENMPI
+        assert get_machine("summit").software.mpi_flavor == MpiFlavor.SPECTRUM_MPI
+        assert get_machine("frontier").software.mpi_flavor == MpiFlavor.CRAY_MPICH
+
+    def test_perlmutter_vs_polaris_driver_generations_differ(self):
+        """The paper attributes their D2D gap to system software."""
+        p = get_machine("perlmutter").software.device_runtime_version
+        q = get_machine("polaris").software.device_runtime_version
+        assert p > q

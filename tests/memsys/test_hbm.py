@@ -1,0 +1,58 @@
+"""Tests for the GPU HBM bandwidth model."""
+
+import pytest
+
+from repro.machines.registry import gpu_machines
+from repro.memsys.hbm import device_stream_bandwidth
+from repro.memsys.writealloc import COPY, DOT, TRIAD
+from repro.units import to_gb_per_s
+
+
+class TestDeviceBandwidth:
+    def test_fraction_of_peak(self, frontier):
+        gpu = frontier.node.gpus[0]
+        cal = frontier.calibration.gpu_runtime
+        assert device_stream_bandwidth(gpu, cal) == pytest.approx(
+            gpu.peak_bandwidth * cal.stream_efficiency
+        )
+
+    def test_dot_pays_reduction_penalty(self, frontier):
+        gpu = frontier.node.gpus[0]
+        cal = frontier.calibration.gpu_runtime
+        assert device_stream_bandwidth(gpu, cal, DOT) < device_stream_bandwidth(
+            gpu, cal, TRIAD
+        )
+
+    def test_copy_and_triad_equal(self, frontier):
+        gpu = frontier.node.gpus[0]
+        cal = frontier.calibration.gpu_runtime
+        assert device_stream_bandwidth(gpu, cal, COPY) == pytest.approx(
+            device_stream_bandwidth(gpu, cal, TRIAD)
+        )
+
+    def test_paper_bands(self):
+        """V100 well below A100/MI250X ~ 1.3 TB/s (paper section 4)."""
+        for m in gpu_machines():
+            bw = to_gb_per_s(
+                device_stream_bandwidth(
+                    m.node.gpus[0], m.calibration.gpu_runtime
+                )
+            )
+            family = m.accelerator_family
+            if family == "V100":
+                assert 750 < bw < 900
+            elif family == "A100":
+                assert 1300 < bw < 1450
+            else:  # MI250X, one GCD
+                assert 1250 < bw < 1400
+
+    def test_mi250x_reported_is_less_than_half_package(self):
+        """BabelStream sees one GCD: below half of 3276.8 GB/s."""
+        for m in gpu_machines():
+            if m.accelerator_family == "MI250X":
+                bw = to_gb_per_s(
+                    device_stream_bandwidth(
+                        m.node.gpus[0], m.calibration.gpu_runtime
+                    )
+                )
+                assert bw < 3276.8 / 2

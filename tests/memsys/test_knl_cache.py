@@ -1,0 +1,100 @@
+"""Tests for the KNL MCDRAM cache-mode model."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import catalog
+from repro.memsys.knl_cache import (
+    cache_mode_bandwidth_factor,
+    effective_bandwidth,
+    mcdram_hit_fraction,
+)
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def knl():
+    return catalog.xeon_phi_7250()
+
+
+class TestHitFraction:
+    def test_fits_entirely(self, knl):
+        assert mcdram_hit_fraction(knl, 400 * MiB) == 1.0
+
+    def test_exactly_capacity(self, knl):
+        assert mcdram_hit_fraction(knl, knl.memory.capacity) == 1.0
+
+    def test_twice_capacity_half_hits(self, knl):
+        assert mcdram_hit_fraction(knl, 32 * GiB) == pytest.approx(0.5)
+
+    def test_non_cache_cpu_rejected(self):
+        xeon = catalog.xeon_gold_6154()
+        with pytest.raises(HardwareConfigError):
+            mcdram_hit_fraction(xeon, 1 * GiB)
+
+    def test_zero_working_set_rejected(self, knl):
+        with pytest.raises(HardwareConfigError):
+            mcdram_hit_fraction(knl, 0)
+
+
+class TestBandwidthFactor:
+    def test_plateau_inside_capacity(self, knl):
+        assert cache_mode_bandwidth_factor(knl, 1 * GiB) == 1.0
+
+    def test_cliff_beyond_capacity(self, knl):
+        inside = cache_mode_bandwidth_factor(knl, 8 * GiB)
+        beyond = cache_mode_bandwidth_factor(knl, 64 * GiB)
+        assert beyond < 0.5 * inside
+
+    def test_asymptote_is_ddr_with_miss_amplification(self, knl):
+        factor = cache_mode_bandwidth_factor(knl, 4096 * GiB)
+        ddr_effective = knl.far_memory.peak_bandwidth / 1.5
+        assert factor == pytest.approx(
+            ddr_effective / knl.memory.peak_bandwidth, rel=0.02
+        )
+
+    def test_monotone_decreasing(self, knl):
+        factors = [
+            cache_mode_bandwidth_factor(knl, ws * GiB)
+            for ws in (8, 16, 24, 48, 96, 192)
+        ]
+        assert factors == sorted(factors, reverse=True)
+
+
+class TestIntegration:
+    def test_paper_sweep_sits_on_plateau(self):
+        """The paper's largest vectors (128 MB) are MCDRAM-resident."""
+        from repro.benchmarks.babelstream.cpu import run_cpu_config
+        from repro.machines.registry import get_machine
+        from repro.openmp.env import OmpEnvironment
+
+        trinity = get_machine("trinity")
+        env = OmpEnvironment(num_threads=68, proc_bind="spread", places="cores")
+        small = run_cpu_config(trinity, env, 128 * MiB).best_op()[1]
+        bigger = run_cpu_config(trinity, env, 512 * MiB).best_op()[1]
+        assert bigger == pytest.approx(small, rel=0.02)
+
+    def test_bandwidth_cliff_beyond_mcdram(self):
+        """Extension: arrays past 16 GiB working set fall to DDR rates."""
+        from repro.benchmarks.babelstream.cpu import run_cpu_config
+        from repro.machines.registry import get_machine
+        from repro.openmp.env import OmpEnvironment
+
+        trinity = get_machine("trinity")
+        env = OmpEnvironment(num_threads=68, proc_bind="spread", places="cores")
+        plateau = run_cpu_config(trinity, env, 1 * GiB).best_op()[1]
+        cliff = run_cpu_config(trinity, env, 16 * GiB).best_op()[1]
+        assert cliff < 0.5 * plateau
+
+    def test_xeon_unaffected(self, sawtooth):
+        from repro.benchmarks.babelstream.cpu import run_cpu_config
+        from repro.openmp.env import OmpEnvironment
+
+        env = OmpEnvironment(num_threads=48, proc_bind="spread", places="cores")
+        a = run_cpu_config(sawtooth, env, 128 * MiB).best_op()[1]
+        b = run_cpu_config(sawtooth, env, 1 * GiB).best_op()[1]
+        assert b == pytest.approx(a, rel=0.02)
+
+    def test_effective_bandwidth_noop_for_flat_mode(self):
+        xeon = catalog.xeon_gold_6154()
+        assert effective_bandwidth(xeon, 1e11, 64 * GiB) == 1e11

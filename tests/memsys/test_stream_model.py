@@ -1,0 +1,59 @@
+"""Tests for the single-thread bandwidth (Little's law) model."""
+
+import pytest
+
+from repro.hardware import catalog
+from repro.machines.calibration import CpuStreamCalibration
+from repro.machines.registry import cpu_machines
+from repro.memsys.stream_model import (
+    LINE_SIZE,
+    per_core_bandwidth,
+    single_thread_bandwidth,
+)
+from repro.units import to_gb_per_s
+
+
+class TestLittlesLaw:
+    def test_formula(self):
+        cpu = catalog.xeon_gold_6154(idle_latency_ns=100.0)
+        cal = CpuStreamCalibration(mlp=10.0, allcore_efficiency=0.8)
+        # 10 lines x 64 B / 100 ns = 6.4 GB/s
+        assert per_core_bandwidth(cpu, cal) == pytest.approx(6.4e9)
+
+    def test_line_size_is_64(self):
+        assert LINE_SIZE == 64
+
+    def test_more_mlp_more_bandwidth(self):
+        cpu = catalog.xeon_gold_6154()
+        lo = CpuStreamCalibration(mlp=10.0, allcore_efficiency=0.8)
+        hi = CpuStreamCalibration(mlp=20.0, allcore_efficiency=0.8)
+        assert per_core_bandwidth(cpu, hi) == pytest.approx(
+            2 * per_core_bandwidth(cpu, lo)
+        )
+
+    def test_single_thread_clipped_by_socket(self):
+        cpu = catalog.xeon_gold_6154()
+        cal = CpuStreamCalibration(mlp=100000.0, allcore_efficiency=0.8)
+        assert single_thread_bandwidth(cpu, cal) == pytest.approx(
+            0.8 * cpu.memory.peak_bandwidth
+        )
+
+
+class TestPaperAnchors:
+    """Single-thread figures must land in Table 4's 12-19 GB/s band."""
+
+    def test_all_machines_in_band(self):
+        for m in cpu_machines():
+            bw = to_gb_per_s(
+                single_thread_bandwidth(m.node.cpu, m.calibration.cpu_stream)
+            )
+            assert 12.0 <= bw <= 19.0, (m.name, bw)
+
+    def test_manzano_fastest_xeon(self):
+        """Manzano's lower-latency DIMM population wins among the Xeons."""
+        by_name = {
+            m.name: single_thread_bandwidth(m.node.cpu, m.calibration.cpu_stream)
+            for m in cpu_machines()
+        }
+        assert by_name["Manzano"] > by_name["Sawtooth"]
+        assert by_name["Manzano"] > by_name["Eagle"]

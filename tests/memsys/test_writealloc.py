@@ -1,0 +1,104 @@
+"""Tests for BabelStream byte accounting and write-allocate traffic."""
+
+import pytest
+
+from repro.errors import BenchmarkConfigError
+from repro.memsys.writealloc import (
+    ADD,
+    ALL_KERNELS,
+    COPY,
+    DOT,
+    MUL,
+    TRIAD,
+    KernelTraffic,
+    traffic_for,
+)
+
+
+class TestCountedBytes:
+    """BabelStream 4.0's counting: 2 arrays for copy/mul/dot, 3 for add/triad."""
+
+    def test_copy_counts_two(self):
+        assert COPY.counted_arrays == 2
+
+    def test_mul_counts_two(self):
+        assert MUL.counted_arrays == 2
+
+    def test_dot_counts_two(self):
+        assert DOT.counted_arrays == 2
+
+    def test_add_counts_three(self):
+        assert ADD.counted_arrays == 3
+
+    def test_triad_counts_three(self):
+        assert TRIAD.counted_arrays == 3
+
+    def test_counted_bytes_scale(self):
+        assert TRIAD.counted_bytes(1000) == 3000
+
+
+class TestWriteAllocate:
+    def test_copy_actual_traffic_is_three_arrays(self):
+        """A store to c[] reads the line first: 1 read + 1 write + 1 alloc."""
+        assert COPY.actual_arrays(write_allocate=True) == 3
+
+    def test_dot_reads_only(self):
+        assert DOT.actual_arrays(write_allocate=True) == 2
+        assert DOT.actual_arrays(write_allocate=False) == 2
+
+    def test_no_write_allocate_on_gpu(self):
+        for kernel in ALL_KERNELS:
+            assert kernel.actual_arrays(False) == kernel.counted_arrays
+
+    def test_reported_fractions(self):
+        assert COPY.reported_fraction(True) == pytest.approx(2 / 3)
+        assert TRIAD.reported_fraction(True) == pytest.approx(3 / 4)
+        assert DOT.reported_fraction(True) == 1.0
+
+    def test_dot_wins_on_cpu(self):
+        """Dot's reported/achieved ratio beats every other kernel with
+        write-allocate — why the paper's best-of CPU numbers are Dot."""
+        dot_frac = DOT.reported_fraction(True)
+        for kernel in ALL_KERNELS:
+            if kernel is not DOT:
+                assert kernel.reported_fraction(True) < dot_frac
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert traffic_for("copy") is COPY
+        assert traffic_for("Triad") is TRIAD
+
+    def test_unknown_kernel(self):
+        with pytest.raises(BenchmarkConfigError):
+            traffic_for("daxpy")
+
+    def test_five_table_kernels(self):
+        """The paper's tables use the classic five operations."""
+        assert len(ALL_KERNELS) == 5
+
+    def test_nstream_is_an_extension(self):
+        from repro.memsys.writealloc import ALL_KERNELS as TABLE_KERNELS
+        from repro.memsys.writealloc import EXTENDED_KERNELS, NSTREAM
+
+        assert NSTREAM not in TABLE_KERNELS
+        assert NSTREAM in EXTENDED_KERNELS
+
+    def test_nstream_traffic(self):
+        """a[i] += b[i] + k*c[i]: 3 reads + 1 write, no write-allocate
+        (the destination line was already read)."""
+        from repro.memsys.writealloc import NSTREAM
+
+        assert NSTREAM.counted_arrays == 4
+        assert NSTREAM.actual_arrays(write_allocate=True) == 4
+        assert NSTREAM.reported_fraction(True) == 1.0
+
+
+class TestValidation:
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            KernelTraffic("bad", reads=-1, writes=0)
+
+    def test_zero_traffic_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            KernelTraffic("bad", reads=0, writes=0)

@@ -1,0 +1,67 @@
+"""Tests for rank placement."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.mpisim.placement import (
+    RankLocation,
+    device_pair,
+    on_node_pair,
+    on_socket_pair,
+)
+
+
+class TestHostPairs:
+    def test_on_socket_is_first_two_cores(self, sawtooth):
+        a, b = on_socket_pair(sawtooth)
+        assert (a.core, b.core) == (0, 1)
+
+    def test_on_node_crosses_sockets(self, sawtooth):
+        a, b = on_node_pair(sawtooth)
+        assert sawtooth.node.socket_of_core(a.core) == 0
+        assert sawtooth.node.socket_of_core(b.core) == 1
+
+    def test_knl_on_node_is_far_pair(self, trinity):
+        a, b = on_node_pair(trinity)
+        assert (a.core, b.core) == (0, 67)
+
+    def test_knl_on_socket_is_close_pair(self, trinity):
+        a, b = on_socket_pair(trinity)
+        assert (a.core, b.core) == (0, 1)
+
+
+class TestDevicePairs:
+    def test_devices_attached(self, frontier):
+        a, b = device_pair(frontier, 0, 3)
+        assert a.device == 0 and b.device == 3
+
+    def test_single_socket_distinct_cores(self, frontier):
+        a, b = device_pair(frontier, 0, 1)
+        assert a.core != b.core
+
+    def test_summit_cross_socket_cores(self, summit):
+        a, b = device_pair(summit, 0, 3)
+        assert summit.node.socket_of_core(a.core) == 0
+        assert summit.node.socket_of_core(b.core) == 1
+
+    def test_same_device_rejected(self, frontier):
+        with pytest.raises(PlacementError):
+            device_pair(frontier, 2, 2)
+
+    def test_out_of_range_rejected(self, frontier):
+        with pytest.raises(PlacementError):
+            device_pair(frontier, 0, 8)
+
+    def test_cpu_machine_rejected(self, sawtooth):
+        with pytest.raises(PlacementError):
+            device_pair(sawtooth, 0, 1)
+
+
+class TestRankLocation:
+    def test_negative_core_rejected(self):
+        with pytest.raises(PlacementError):
+            RankLocation(core=-1)
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(PlacementError):
+            RankLocation(core=0, device=-1)

@@ -1,0 +1,166 @@
+"""Tests for MPI tag matching (selective receives, wildcards)."""
+
+import pytest
+
+from repro.errors import MpiSimError
+from repro.mpisim.placement import RankLocation
+from repro.mpisim.protocols import EAGER_THRESHOLD
+from repro.mpisim.world import ANY_TAG, MatchQueue, MpiWorld
+from repro.sim.engine import Environment
+
+
+def world_of(machine, n=2):
+    return MpiWorld(machine, [RankLocation(i) for i in range(n)])
+
+
+class TestMatchQueue:
+    def test_fifo_within_tag(self):
+        env = Environment()
+        q = MatchQueue(env)
+
+        class Item:
+            def __init__(self, tag, n):
+                self.tag, self.n = tag, n
+
+        q.put(Item(1, "a"))
+        q.put(Item(1, "b"))
+        ev = q.get(lambda m: m.tag == 1)
+        assert ev.value.n == "a"
+
+    def test_selective_skips_other_tags(self):
+        env = Environment()
+        q = MatchQueue(env)
+
+        class Item:
+            def __init__(self, tag):
+                self.tag = tag
+
+        q.put(Item(7))
+        q.put(Item(3))
+        ev = q.get(lambda m: m.tag == 3)
+        assert ev.value.tag == 3
+        assert len(q) == 1  # tag-7 message still queued
+
+    def test_waiter_matched_on_put(self):
+        env = Environment()
+        q = MatchQueue(env)
+
+        class Item:
+            def __init__(self, tag):
+                self.tag = tag
+
+        ev = q.get(lambda m: m.tag == 5)
+        assert not ev.triggered
+        q.put(Item(5))
+        assert ev.triggered
+
+    def test_waiters_matched_in_post_order(self):
+        env = Environment()
+        q = MatchQueue(env)
+
+        class Item:
+            tag = 0
+
+        first = q.get()
+        second = q.get()
+        q.put(Item())
+        assert first.triggered and not second.triggered
+
+
+class TestTaggedMessaging:
+    def test_selective_receive_reorders(self, eagle):
+        """recv(tag=2) takes the later message; tag=1 is picked up after."""
+        world = world_of(eagle)
+
+        def sender(ctx):
+            yield from ctx.send(1, 8, payload="first", tag=1)
+            yield from ctx.send(1, 8, payload="second", tag=2)
+
+        def receiver(ctx):
+            m2 = yield from ctx.recv(0, tag=2)
+            m1 = yield from ctx.recv(0, tag=1)
+            return (m2.payload, m1.payload)
+
+        _, got = world.run([sender, receiver])
+        assert got == ("second", "first")
+
+    def test_wildcard_takes_oldest(self, eagle):
+        world = world_of(eagle)
+
+        def sender(ctx):
+            yield from ctx.send(1, 8, payload="a", tag=9)
+            yield from ctx.send(1, 8, payload="b", tag=4)
+
+        def receiver(ctx):
+            m = yield from ctx.recv(0, tag=ANY_TAG)
+            return m.payload, m.tag
+
+        _, (payload, tag) = world.run([sender, receiver])
+        assert (payload, tag) == ("a", 9)
+
+    def test_tagged_rendezvous_do_not_cross(self, eagle):
+        """Two concurrent large sends with different tags deliver to the
+        matching receives even when matched out of order."""
+        world = world_of(eagle)
+        big = EAGER_THRESHOLD * 4
+
+        def sender(ctx):
+            s1 = ctx.env.process(ctx.send(1, big, payload="L1", tag=1))
+            s2 = ctx.env.process(ctx.send(1, big, payload="L2", tag=2))
+            yield s1
+            yield s2
+
+        def receiver(ctx):
+            m2 = yield from ctx.recv(0, tag=2)
+            m1 = yield from ctx.recv(0, tag=1)
+            return (m1.payload, m2.payload)
+
+        _, got = world.run([sender, receiver])
+        assert got == ("L1", "L2")
+
+    def test_preposted_tagged_receive(self, eagle):
+        world = world_of(eagle)
+
+        def sender(ctx):
+            yield from ctx.send(1, 8, payload="x", tag=3)
+
+        def receiver(ctx):
+            req = ctx.irecv(0, tag=3)
+            msg = yield from ctx.wait(req)
+            return msg.payload
+
+        _, got = world.run([sender, receiver])
+        assert got == "x"
+
+    def test_negative_send_tag_rejected(self, eagle):
+        world = world_of(eagle)
+
+        def sender(ctx):
+            yield from ctx.send(1, 8, tag=-2)
+
+        def receiver(ctx):
+            yield from ctx.recv(0)
+
+        with pytest.raises(MpiSimError):
+            world.run([sender, receiver])
+
+    def test_default_tag_is_zero(self, eagle):
+        world = world_of(eagle)
+
+        def sender(ctx):
+            yield from ctx.send(1, 8, payload="z")
+
+        def receiver(ctx):
+            m = yield from ctx.recv(0, tag=0)
+            return m.payload
+
+        _, got = world.run([sender, receiver])
+        assert got == "z"
+
+    def test_timing_unchanged_by_tags(self, eagle):
+        """Tag machinery must not perturb the calibrated latencies."""
+        from repro.benchmarks.osu.runner import PairKind, latency_for_pair
+        from repro.units import to_us
+
+        lat = latency_for_pair(eagle, PairKind.ON_SOCKET).latency
+        assert to_us(lat) == pytest.approx(0.17, abs=0.01)

@@ -1,0 +1,109 @@
+"""Tests for transport cost models."""
+
+import pytest
+
+from repro.errors import MpiSimError
+from repro.machines.registry import get_machine
+from repro.mpisim.placement import RankLocation, device_pair
+from repro.mpisim.transport import BufferKind, PathCost, Transport
+from repro.units import to_us, us
+
+
+class TestHostPath:
+    def test_on_socket_decomposition(self, eagle):
+        t = Transport(eagle)
+        cost = t.path(RankLocation(0), RankLocation(1), BufferKind.HOST)
+        cal = eagle.calibration.mpi
+        assert cost.o_send == cal.sw_overhead
+        assert cost.wire == pytest.approx(cal.hw_exchange)
+
+    def test_cross_socket_adds_extra(self, eagle):
+        t = Transport(eagle)
+        same = t.path(RankLocation(0), RankLocation(1), BufferKind.HOST)
+        cross = t.path(RankLocation(0), RankLocation(18), BufferKind.HOST)
+        assert cross.wire - same.wire == pytest.approx(
+            eagle.calibration.mpi.cross_socket_extra
+        )
+
+    def test_knl_mesh_distance(self, trinity):
+        t = Transport(trinity)
+        near = t.path(RankLocation(0), RankLocation(1), BufferKind.HOST)
+        far = t.path(RankLocation(0), RankLocation(67), BufferKind.HOST)
+        assert far.wire > near.wire
+        hops = trinity.node.cpu.mesh_hops(0, 67)
+        assert far.wire - near.wire == pytest.approx(
+            hops * trinity.calibration.mpi.mesh_hop
+        )
+
+    def test_one_way_includes_bytes(self, eagle):
+        t = Transport(eagle)
+        cost = t.path(RankLocation(0), RankLocation(1), BufferKind.HOST)
+        assert cost.one_way(1 << 20) > cost.zero_byte
+
+    def test_negative_bytes_rejected(self, eagle):
+        t = Transport(eagle)
+        cost = t.path(RankLocation(0), RankLocation(1), BufferKind.HOST)
+        with pytest.raises(MpiSimError):
+            cost.one_way(-1)
+
+
+class TestDevicePath:
+    def test_rma_wire_is_tiny(self, frontier):
+        t = Transport(frontier)
+        pair = device_pair(frontier, 0, 1)
+        cost = t.path(pair[0], pair[1], BufferKind.DEVICE)
+        assert cost.wire < us(0.1)
+
+    def test_rma_class_independent(self, frontier):
+        """MI250X: device latency identical across link classes."""
+        t = Transport(frontier)
+        wires = []
+        for dst in (1, 7, 4, 2):  # classes A, B, C, D
+            pair = device_pair(frontier, 0, dst)
+            wires.append(t.path(pair[0], pair[1], BufferKind.DEVICE).wire)
+        assert max(wires) == pytest.approx(min(wires))
+
+    def test_pipeline_overhead_dominates(self, summit):
+        t = Transport(summit)
+        pair = device_pair(summit, 0, 1)
+        host = t.path(pair[0], pair[1], BufferKind.HOST)
+        dev = t.path(pair[0], pair[1], BufferKind.DEVICE)
+        assert dev.wire > 20 * host.wire
+
+    def test_pipeline_cross_fabric_extra(self, summit):
+        t = Transport(summit)
+        direct = device_pair(summit, 0, 1)
+        staged = device_pair(summit, 0, 3)
+        w_direct = t.path(direct[0], direct[1], BufferKind.DEVICE).wire
+        w_staged = t.path(staged[0], staged[1], BufferKind.DEVICE).wire
+        assert w_staged - w_direct == pytest.approx(
+            summit.calibration.mpi.gpu_cross_fabric_extra
+        )
+
+    def test_device_path_needs_devices(self, summit):
+        t = Transport(summit)
+        with pytest.raises(MpiSimError):
+            t.path(RankLocation(0), RankLocation(1), BufferKind.DEVICE)
+
+    def test_cpu_machine_device_path_rejected(self, sawtooth):
+        t = Transport(sawtooth)
+        with pytest.raises(MpiSimError):
+            t.path(
+                RankLocation(0, device=0), RankLocation(1, device=1),
+                BufferKind.DEVICE,
+            )
+
+
+class TestPaperOrdering:
+    def test_device_latency_hierarchy(self):
+        """V100 > A100 >> MI250X device MPI latency (paper headline)."""
+        def device_wire(name):
+            m = get_machine(name)
+            t = Transport(m)
+            pair = device_pair(m, 0, 1)
+            return t.path(pair[0], pair[1], BufferKind.DEVICE).zero_byte
+
+        v100 = device_wire("summit")
+        a100 = device_wire("perlmutter")
+        mi250x = device_wire("frontier")
+        assert v100 > a100 > 10 * mi250x

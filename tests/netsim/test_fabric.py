@@ -1,0 +1,74 @@
+"""Tests for fabric specs and the machine-fabric mapping."""
+
+import pytest
+
+from repro.errors import HardwareConfigError, UnknownMachineError
+from repro.machines.registry import all_machines
+from repro.netsim.fabric import (
+    ARIES,
+    FABRIC_CATALOG,
+    INFINIBAND_EDR,
+    OMNI_PATH,
+    SLINGSHOT_10,
+    SLINGSHOT_11,
+    FabricSpec,
+    fabric_for_machine,
+)
+from repro.units import gb_per_s, us
+
+
+class TestCatalog:
+    def test_every_machine_has_a_fabric(self):
+        for m in all_machines():
+            assert fabric_for_machine(m) is FABRIC_CATALOG[m.name]
+
+    def test_slingshot11_machines(self):
+        for name in ("Frontier", "Perlmutter", "RZVernal", "Tioga"):
+            assert fabric_for_machine(name) is SLINGSHOT_11
+
+    def test_power9_machines_use_edr(self):
+        for name in ("Summit", "Sierra", "Lassen"):
+            assert fabric_for_machine(name) is INFINIBAND_EDR
+
+    def test_knl_machines_use_aries(self):
+        for name in ("Trinity", "Theta"):
+            assert fabric_for_machine(name) is ARIES
+
+    def test_manzano_uses_omnipath(self):
+        assert fabric_for_machine("Manzano") is OMNI_PATH
+
+    def test_polaris_is_slingshot10(self):
+        assert fabric_for_machine("Polaris") is SLINGSHOT_10
+
+    def test_unknown_machine(self):
+        with pytest.raises(UnknownMachineError):
+            fabric_for_machine("Fugaku")
+
+
+class TestSpecs:
+    def test_slingshot11_injection_is_200gbit(self):
+        assert SLINGSHOT_11.injection_bandwidth == gb_per_s(25.0)
+
+    def test_slingshot10_half_injection(self):
+        assert SLINGSHOT_10.injection_bandwidth == pytest.approx(
+            SLINGSHOT_11.injection_bandwidth / 2
+        )
+
+    def test_zero_byte_latency_grows_with_hops(self):
+        assert SLINGSHOT_11.zero_byte_latency(5) > \
+            SLINGSHOT_11.zero_byte_latency(1)
+
+    def test_zero_byte_latency_microsecond_scale(self):
+        for fabric in FABRIC_CATALOG.values():
+            lat = fabric.zero_byte_latency(3)
+            assert us(0.5) < lat < us(4.0), fabric.name
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            SLINGSHOT_11.zero_byte_latency(0)
+
+    def test_validation(self):
+        with pytest.raises(HardwareConfigError):
+            FabricSpec("bad", -1.0, 1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(HardwareConfigError):
+            FabricSpec("bad", 1.0, 1.0, 0.0, 0.0, 0.0, efficiency=1.5)

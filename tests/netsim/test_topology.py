@@ -1,0 +1,134 @@
+"""Tests for network topologies and shared-link reservation."""
+
+import pytest
+
+from repro.errors import HardwareConfigError, SimulationError
+from repro.netsim.fabric import INFINIBAND_EDR, SLINGSHOT_11
+from repro.netsim.links import NetworkLink, reserve_path
+from repro.netsim.topology import DragonflyTopology, FatTreeTopology
+
+
+class TestNetworkLink:
+    def test_reserve_serialises(self):
+        link = NetworkLink("l", bandwidth=1e9, latency=1e-7)
+        first = link.reserve(0.0, 10**9)   # 1 second of traffic
+        second = link.reserve(0.0, 10**9)
+        assert first == pytest.approx(1.0 + 1e-7)
+        assert second == pytest.approx(2.0 + 1e-7)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = NetworkLink("l", bandwidth=1e9, latency=1e-7)
+        assert link.reserve(5.0, 0) == pytest.approx(5.0 + 1e-7)
+
+    def test_counters(self):
+        link = NetworkLink("l", bandwidth=1e9, latency=0.0)
+        link.reserve(0.0, 100)
+        link.reserve(0.0, 200)
+        assert link.bytes_carried == 300 and link.transfers == 2
+
+    def test_reset(self):
+        link = NetworkLink("l", bandwidth=1e9, latency=0.0)
+        link.reserve(0.0, 100)
+        link.reset()
+        assert link.busy_until == 0.0 and link.transfers == 0
+
+    def test_negative_size_rejected(self):
+        link = NetworkLink("l", bandwidth=1e9, latency=0.0)
+        with pytest.raises(SimulationError):
+            link.reserve(0.0, -1)
+
+
+class TestReservePath:
+    def _links(self, n, bw=1e9, lat=1e-7):
+        return [NetworkLink(f"l{i}", bw, lat) for i in range(n)]
+
+    def test_zero_bytes_sums_latencies(self):
+        links = self._links(4)
+        arrival = reserve_path(links, 0.0, 0)
+        assert arrival == pytest.approx(4e-7)
+
+    def test_large_transfer_bottleneck(self):
+        links = self._links(3)
+        links[1] = NetworkLink("slow", 0.5e9, 1e-7)
+        arrival = reserve_path(links, 0.0, 10**9)
+        # ~ nbytes / slowest + latencies
+        assert arrival == pytest.approx(2.0, rel=0.01)
+
+    def test_contention_on_shared_link(self):
+        links = self._links(2)
+        a = reserve_path(links, 0.0, 10**9)
+        b = reserve_path(links, 0.0, 10**9)
+        assert b > a
+        assert b == pytest.approx(a + 1.0, rel=0.01)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(SimulationError):
+            reserve_path([], 0.0, 0)
+
+
+class TestDragonfly:
+    def test_capacity_enforced(self):
+        with pytest.raises(HardwareConfigError):
+            DragonflyTopology(SLINGSHOT_11, 1000, groups=2,
+                              routers_per_group=2, nodes_per_router=2)
+
+    def test_same_router_zero_hops(self):
+        topo = DragonflyTopology(SLINGSHOT_11, 32)
+        assert topo.hops(0, 1) == 0
+
+    def test_intra_group_one_hop(self):
+        topo = DragonflyTopology(SLINGSHOT_11, 64, groups=4)
+        # nodes 0 and 4 sit on different routers of group 0
+        assert topo.router_of(0) != topo.router_of(4)
+        assert topo.hops(0, 4) == 1
+
+    def test_inter_group_at_most_three_hops(self):
+        topo = DragonflyTopology(SLINGSHOT_11, 64, groups=4)
+        for a in (0, 5, 17):
+            for b in (40, 55, 63):
+                if topo.group_of(a) != topo.group_of(b):
+                    assert 1 <= topo.hops(a, b) <= 3
+
+    def test_route_endpoints(self):
+        topo = DragonflyTopology(SLINGSHOT_11, 64, groups=4)
+        path = topo.route(0, 60)
+        assert path[0] == topo.router_of(0)
+        assert path[-1] == topo.router_of(60)
+
+    def test_route_links_exist(self):
+        topo = DragonflyTopology(SLINGSHOT_11, 64, groups=4)
+        links = topo.links_between(0, 63)
+        assert len(links) == topo.hops(0, 63)
+
+    def test_node_out_of_range(self):
+        topo = DragonflyTopology(SLINGSHOT_11, 8)
+        with pytest.raises(Exception):
+            topo.router_of(8)
+
+
+class TestFatTree:
+    def test_same_leaf_zero_hops(self):
+        topo = FatTreeTopology(INFINIBAND_EDR, 32, nodes_per_leaf=8)
+        assert topo.hops(0, 7) == 0
+
+    def test_cross_leaf_two_hops(self):
+        topo = FatTreeTopology(INFINIBAND_EDR, 32, nodes_per_leaf=8)
+        assert topo.hops(0, 8) == 2  # leaf -> core -> leaf
+
+    def test_route_passes_core(self):
+        topo = FatTreeTopology(INFINIBAND_EDR, 32, nodes_per_leaf=8)
+        path = topo.route(0, 31)
+        assert len(path) == 3 and path[1].startswith("core")
+
+    def test_leaf_count(self):
+        topo = FatTreeTopology(INFINIBAND_EDR, 20, nodes_per_leaf=8)
+        assert topo.n_leaves == 3
+
+    def test_distinct_pairs_spread_over_cores(self):
+        topo = FatTreeTopology(INFINIBAND_EDR, 64, nodes_per_leaf=8,
+                               core_switches=4)
+        cores = {
+            topo.route(0, dst)[1]
+            for dst in (8, 16, 24, 32, 40, 56)
+        }
+        assert len(cores) > 1

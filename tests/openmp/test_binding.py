@@ -1,0 +1,72 @@
+"""Tests for OMP_PROC_BIND policies."""
+
+import pytest
+
+from repro.errors import OpenMPConfigError
+from repro.openmp.binding import BindPolicy, assign_threads
+
+PLACES = [(0,), (1,), (2,), (3,), (4,), (5,), (6,), (7,)]
+
+
+class TestPolicyParsing:
+    def test_unset_is_unbound(self):
+        assert BindPolicy.from_env(None) == BindPolicy.UNBOUND
+
+    def test_false_is_unbound(self):
+        assert BindPolicy.from_env("false") == BindPolicy.UNBOUND
+
+    def test_true_maps_to_close(self):
+        assert BindPolicy.from_env("true") == BindPolicy.CLOSE
+
+    def test_named_policies(self):
+        assert BindPolicy.from_env("spread") == BindPolicy.SPREAD
+        assert BindPolicy.from_env("close") == BindPolicy.CLOSE
+        assert BindPolicy.from_env("master") == BindPolicy.MASTER
+
+    def test_unknown_rejected(self):
+        with pytest.raises(OpenMPConfigError):
+            BindPolicy.from_env("diagonal")
+
+
+class TestAssignment:
+    def test_unbound_gives_none(self):
+        assert assign_threads(BindPolicy.UNBOUND, PLACES, 4) == [None] * 4
+
+    def test_master_shares_first_place(self):
+        out = assign_threads(BindPolicy.MASTER, PLACES, 3)
+        assert out == [(0,), (0,), (0,)]
+
+    def test_close_consecutive(self):
+        out = assign_threads(BindPolicy.CLOSE, PLACES, 4)
+        assert out == [(0,), (1,), (2,), (3,)]
+
+    def test_close_wraps(self):
+        out = assign_threads(BindPolicy.CLOSE, PLACES[:2], 4)
+        assert out == [(0,), (1,), (0,), (1,)]
+
+    def test_spread_even_partitions(self):
+        out = assign_threads(BindPolicy.SPREAD, PLACES, 4)
+        assert out == [(0,), (2,), (4,), (6,)]
+
+    def test_spread_two_threads(self):
+        out = assign_threads(BindPolicy.SPREAD, PLACES, 2)
+        assert out == [(0,), (4,)]
+
+    def test_spread_with_more_threads_than_places_wraps(self):
+        out = assign_threads(BindPolicy.SPREAD, PLACES[:2], 4)
+        assert out == [(0,), (1,), (0,), (1,)]
+
+    def test_spread_covers_distinct_places(self):
+        out = assign_threads(BindPolicy.SPREAD, PLACES, 8)
+        assert sorted(out) == sorted(PLACES)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(OpenMPConfigError):
+            assign_threads(BindPolicy.CLOSE, PLACES, 0)
+
+    def test_binding_needs_places(self):
+        with pytest.raises(OpenMPConfigError):
+            assign_threads(BindPolicy.CLOSE, [], 2)
+
+    def test_unbound_needs_no_places(self):
+        assert assign_threads(BindPolicy.UNBOUND, [], 2) == [None, None]

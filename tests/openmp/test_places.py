@@ -1,0 +1,99 @@
+"""Tests for OMP_PLACES parsing."""
+
+import pytest
+
+from repro.errors import OpenMPConfigError
+from repro.openmp.places import parse_places, place_cores
+
+
+class TestSymbolic:
+    def test_threads(self, sawtooth):
+        places = parse_places("threads", sawtooth.node)
+        assert len(places) == 96
+        assert all(len(p) == 1 for p in places)
+
+    def test_cores(self, sawtooth):
+        places = parse_places("cores", sawtooth.node)
+        assert len(places) == 48
+        # each core place holds its two SMT siblings
+        assert all(len(p) == 2 for p in places)
+        assert places[0] == (0, 48)
+
+    def test_sockets(self, sawtooth):
+        places = parse_places("sockets", sawtooth.node)
+        assert len(places) == 2
+        assert all(len(p) == 48 for p in places)
+
+    def test_unset_defaults_to_cores(self, sawtooth):
+        assert parse_places(None, sawtooth.node) == parse_places(
+            "cores", sawtooth.node
+        )
+
+    def test_case_insensitive(self, sawtooth):
+        assert parse_places("THREADS", sawtooth.node) == parse_places(
+            "threads", sawtooth.node
+        )
+
+
+class TestExplicit:
+    def test_simple_list(self, sawtooth):
+        assert parse_places("{0,1,2,3}", sawtooth.node) == [(0, 1, 2, 3)]
+
+    def test_multiple_places(self, sawtooth):
+        assert parse_places("{0,1},{2,3}", sawtooth.node) == [(0, 1), (2, 3)]
+
+    def test_interval(self, sawtooth):
+        assert parse_places("{0:4}", sawtooth.node) == [(0, 1, 2, 3)]
+
+    def test_interval_with_stride(self, sawtooth):
+        assert parse_places("{0:4:2}", sawtooth.node) == [(0, 2, 4, 6)]
+
+    def test_replication(self, sawtooth):
+        assert parse_places("{0:2}:4:8", sawtooth.node) == [
+            (0, 1), (8, 9), (16, 17), (24, 25),
+        ]
+
+    def test_replication_default_stride(self, sawtooth):
+        # stride defaults to the place length
+        assert parse_places("{0:2}:3", sawtooth.node) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_mixed(self, sawtooth):
+        assert parse_places("{0},{4:2}", sawtooth.node) == [(0,), (4, 5)]
+
+    def test_out_of_range_rejected(self, sawtooth):
+        with pytest.raises(OpenMPConfigError):
+            parse_places("{200}", sawtooth.node)
+
+    def test_unbalanced_braces_rejected(self, sawtooth):
+        with pytest.raises(OpenMPConfigError):
+            parse_places("{0,1", sawtooth.node)
+
+    def test_garbage_rejected(self, sawtooth):
+        with pytest.raises(OpenMPConfigError):
+            parse_places("0,1,2", sawtooth.node)
+
+    def test_empty_entry_rejected(self, sawtooth):
+        with pytest.raises(OpenMPConfigError):
+            parse_places("{0,,1}", sawtooth.node)
+
+    def test_zero_length_interval_rejected(self, sawtooth):
+        with pytest.raises(OpenMPConfigError):
+            parse_places("{0:0}", sawtooth.node)
+
+    def test_zero_stride_rejected(self, sawtooth):
+        with pytest.raises(OpenMPConfigError):
+            parse_places("{0:4:0}", sawtooth.node)
+
+
+class TestPlaceCores:
+    def test_core_place_covers_one_core(self, sawtooth):
+        places = parse_places("cores", sawtooth.node)
+        assert place_cores(places[0], sawtooth.node) == {0}
+
+    def test_smt_siblings_map_to_same_core(self, sawtooth):
+        # hwthreads 0 and 48 are siblings of core 0
+        assert place_cores((0, 48), sawtooth.node) == {0}
+
+    def test_socket_place_covers_socket(self, sawtooth):
+        places = parse_places("sockets", sawtooth.node)
+        assert place_cores(places[1], sawtooth.node) == set(range(24, 48))

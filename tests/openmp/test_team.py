@@ -1,0 +1,61 @@
+"""Tests for thread-team construction."""
+
+from repro.openmp.env import OmpEnvironment
+from repro.openmp.team import build_team
+
+
+class TestTeamGeometry:
+    def test_single_bound_thread(self, sawtooth):
+        team = build_team(sawtooth.node, OmpEnvironment(1, "true"))
+        assert team.num_threads == 1
+        assert team.bound
+        assert team.cores_used() == {0}
+
+    def test_single_unbound_thread(self, sawtooth):
+        team = build_team(sawtooth.node, OmpEnvironment(1))
+        assert not team.bound
+        assert team.effective_core_count() == 1
+
+    def test_all_cores_spread(self, sawtooth):
+        env = OmpEnvironment(48, "spread", "cores")
+        team = build_team(sawtooth.node, env)
+        assert team.cores_used() == set(range(48))
+        assert team.max_threads_per_core() == 1
+        assert not team.smt_oversubscribed()
+
+    def test_all_threads_close(self, sawtooth):
+        env = OmpEnvironment(96, "close", "threads")
+        team = build_team(sawtooth.node, env)
+        assert team.cores_used() == set(range(48))
+        assert team.max_threads_per_core() == 2
+        assert team.smt_oversubscribed()
+
+    def test_unbound_all_threads(self, sawtooth):
+        team = build_team(sawtooth.node, OmpEnvironment(96))
+        assert team.effective_core_count() == 48
+        assert team.max_threads_per_core() == 2
+
+    def test_sockets_used(self, sawtooth):
+        close24 = build_team(
+            sawtooth.node, OmpEnvironment(24, "close", "cores")
+        )
+        assert close24.sockets_used() == {0}
+        spread = build_team(
+            sawtooth.node, OmpEnvironment(48, "spread", "cores")
+        )
+        assert spread.sockets_used() == {0, 1}
+
+    def test_unbound_uses_all_sockets(self, sawtooth):
+        team = build_team(sawtooth.node, OmpEnvironment(48))
+        assert team.sockets_used() == {0, 1}
+
+    def test_knl_full_smt(self, trinity):
+        env = OmpEnvironment(272, "close", "threads")
+        team = build_team(trinity.node, env)
+        assert team.cores_used() == set(range(68))
+        assert team.max_threads_per_core() == 4
+
+    def test_spread_fewer_threads_spans_sockets(self, sawtooth):
+        env = OmpEnvironment(2, "spread", "cores")
+        team = build_team(sawtooth.node, env)
+        assert len(team.sockets_used()) == 2

@@ -1,0 +1,144 @@
+"""Property-based tests for collectives and cluster routing."""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.registry import get_machine
+from repro.mpisim.collectives import allgather, allreduce, bcast, reduce
+from repro.mpisim.placement import RankLocation
+from repro.mpisim.world import MpiWorld
+from repro.netsim.cluster import Cluster
+from repro.netsim.fabric import SLINGSHOT_11
+from repro.netsim.topology import DragonflyTopology, FatTreeTopology
+
+EAGLE = get_machine("eagle")
+
+
+def run_ranks(n, fn_factory):
+    ncores = EAGLE.node.total_cores
+    world = MpiWorld(EAGLE, [RankLocation(i % ncores) for i in range(n)])
+    return world.run([fn_factory(rank) for rank in range(n)])
+
+
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    values=st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=12, max_size=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_allreduce_equals_sequential_sum(n, values):
+    """allreduce(+) agrees with plain sum for every world size."""
+    def make(rank):
+        def fn(ctx):
+            out = yield from allreduce(ctx, values[rank], 8, operator.add)
+            return out
+        return fn
+
+    results = run_ranks(n, make)
+    assert results == [sum(values[:n])] * n
+
+
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    root=st.integers(min_value=0, max_value=9),
+    payload=st.text(max_size=20),
+)
+@settings(max_examples=25, deadline=None)
+def test_bcast_from_any_root(n, root, payload):
+    root = root % n
+
+    def make(rank):
+        def fn(ctx):
+            value = payload if rank == root else None
+            out = yield from bcast(ctx, value, 32, root=root)
+            return out
+        return fn
+
+    assert run_ranks(n, make) == [payload] * n
+
+
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    root=st.integers(min_value=0, max_value=9),
+)
+@settings(max_examples=25, deadline=None)
+def test_reduce_concat_is_root_rotated_rank_order(n, root):
+    """Non-commutative reduce is deterministic: ascending rank order
+    rotated to start at the root (the documented contract)."""
+    root = root % n
+
+    def make(rank):
+        def fn(ctx):
+            out = yield from reduce(ctx, [rank], 8, operator.add, root=root)
+            return out
+        return fn
+
+    results = run_ranks(n, make)
+    assert results[root] == [(root + i) % n for i in range(n)]
+    assert all(results[r] is None for r in range(n) if r != root)
+
+
+@given(n=st.integers(min_value=2, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_allgather_is_identity_on_rank_ids(n):
+    def make(rank):
+        def fn(ctx):
+            out = yield from allgather(ctx, rank * rank, 8)
+            return out
+        return fn
+
+    expected = [r * r for r in range(n)]
+    assert run_ranks(n, make) == [expected] * n
+
+
+@given(
+    a=st.integers(min_value=0, max_value=63),
+    b=st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=60, deadline=None)
+def test_dragonfly_routing_invariants(a, b):
+    topo = DragonflyTopology(SLINGSHOT_11, 64, groups=4)
+    if a == b:
+        return
+    path = topo.route(a, b)
+    # valid endpoints, no repeated routers, every consecutive link exists
+    assert path[0] == topo.router_of(a)
+    assert path[-1] == topo.router_of(b)
+    assert len(path) == len(set(path))
+    topo.links.along(path)  # raises if a hop is missing
+    # hops symmetric and bounded by the dragonfly diameter
+    assert topo.hops(a, b) == topo.hops(b, a)
+    assert topo.hops(a, b) <= 3
+
+
+@given(
+    a=st.integers(min_value=0, max_value=63),
+    b=st.integers(min_value=0, max_value=63),
+    n_nodes=st.integers(min_value=2, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_fattree_hops_are_zero_or_two(a, b, n_nodes):
+    topo = FatTreeTopology(SLINGSHOT_11, n_nodes, nodes_per_leaf=8)
+    a %= n_nodes
+    b %= n_nodes
+    if a == b:
+        return
+    hops = topo.hops(a, b)
+    same_leaf = topo.leaf_of(a) == topo.leaf_of(b)
+    assert hops == (0 if same_leaf else 2)
+
+
+@given(
+    src=st.integers(min_value=0, max_value=15),
+    dst=st.integers(min_value=0, max_value=15),
+)
+@settings(max_examples=30, deadline=None)
+def test_cluster_nic_links_bookend_every_route(src, dst):
+    cluster = Cluster(get_machine("frontier"), 16)
+    if src == dst:
+        return
+    links = cluster.links_between(src, dst)
+    assert links[0].name.startswith(f"node{src}->")
+    assert links[-1].name.endswith(f"->node{dst}")

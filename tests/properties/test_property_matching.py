@@ -1,0 +1,74 @@
+"""Property-based tests for the MPI matching queue."""
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim.world import MatchQueue
+from repro.sim.engine import Environment
+
+
+@dataclass
+class Item:
+    tag: int
+    serial: int
+
+
+@given(tags=st.lists(st.integers(min_value=0, max_value=3),
+                     min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_fifo_per_tag(tags):
+    """Draining one tag at a time always yields that tag's items in
+    their original order."""
+    env = Environment()
+    q = MatchQueue(env)
+    for serial, tag in enumerate(tags):
+        q.put(Item(tag, serial))
+    for tag in sorted(set(tags)):
+        expected = [s for s, t in enumerate(tags) if t == tag]
+        got = []
+        for _ in expected:
+            ev = q.get(lambda m, tag=tag: m.tag == tag)
+            assert ev.triggered
+            got.append(ev.value.serial)
+        assert got == expected
+    assert len(q) == 0
+
+
+@given(
+    tags=st.lists(st.integers(min_value=0, max_value=3),
+                  min_size=1, max_size=30),
+    waiter_tags=st.lists(st.integers(min_value=0, max_value=3),
+                         min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_no_item_matched_twice(tags, waiter_tags):
+    """However puts and gets interleave, each item satisfies at most one
+    waiter and each waiter gets at most one item."""
+    env = Environment()
+    q = MatchQueue(env)
+    events = [
+        q.get(lambda m, t=t: m.tag == t) for t in waiter_tags
+    ]
+    for serial, tag in enumerate(tags):
+        q.put(Item(tag, serial))
+    delivered = [ev.value.serial for ev in events if ev.triggered]
+    assert len(delivered) == len(set(delivered))
+    # conservation: triggered waiters + still-queued items == puts
+    assert len(delivered) + len(q) == len(tags)
+
+
+@given(tags=st.lists(st.integers(min_value=0, max_value=5),
+                     min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_wildcard_drains_in_global_order(tags):
+    env = Environment()
+    q = MatchQueue(env)
+    for serial, tag in enumerate(tags):
+        q.put(Item(tag, serial))
+    got = []
+    for _ in tags:
+        ev = q.get()
+        got.append(ev.value.serial)
+    assert got == list(range(len(tags)))

@@ -1,0 +1,112 @@
+"""Property-based tests for cost models and statistics."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import Statistic
+from repro.gpurt.buffers import DeviceBuffer, HostBuffer
+from repro.gpurt.memcpy import plan_copy
+from repro.machines.registry import get_machine
+from repro.memsys.writealloc import ALL_KERNELS
+from repro.mpisim.placement import RankLocation
+from repro.mpisim.transport import BufferKind, Transport
+from repro.sim.random import NoiseModel
+from repro.units import parse_size, format_bytes
+
+FRONTIER = get_machine("frontier")
+EAGLE = get_machine("eagle")
+
+
+@given(
+    nbytes=st.integers(min_value=1, max_value=1 << 32),
+    src=st.integers(min_value=0, max_value=7),
+    dst=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=80, deadline=None)
+def test_copy_duration_monotone_in_size(nbytes, src, dst):
+    """Copies never get faster with more bytes, on any device pair."""
+    plan = plan_copy(
+        FRONTIER,
+        DeviceBuffer(nbytes=1 << 33, device=src),
+        DeviceBuffer(nbytes=1 << 33, device=dst),
+    )
+    assert plan.duration(nbytes) >= plan.latency
+    assert plan.duration(2 * nbytes) > plan.duration(nbytes)
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 30))
+@settings(max_examples=60, deadline=None)
+def test_h2d_duration_decomposes(nbytes):
+    plan = plan_copy(
+        FRONTIER,
+        HostBuffer(nbytes=1 << 31, pinned=True),
+        DeviceBuffer(nbytes=1 << 31, device=0),
+    )
+    assert plan.duration(nbytes) == plan.latency + nbytes / plan.bandwidth
+
+
+@given(
+    core_a=st.integers(min_value=0, max_value=35),
+    core_b=st.integers(min_value=0, max_value=35),
+    nbytes=st.integers(min_value=0, max_value=1 << 24),
+)
+@settings(max_examples=80, deadline=None)
+def test_mpi_one_way_cost_symmetric_and_monotone(core_a, core_b, nbytes):
+    assume(core_a != core_b)
+    t = Transport(EAGLE)
+    ab = t.path(RankLocation(core_a), RankLocation(core_b), BufferKind.HOST)
+    ba = t.path(RankLocation(core_b), RankLocation(core_a), BufferKind.HOST)
+    assert ab.one_way(nbytes) == ba.one_way(nbytes)
+    assert ab.one_way(nbytes + 1) >= ab.one_way(nbytes)
+    assert ab.one_way(nbytes) >= ab.zero_byte
+
+
+@given(write_allocate=st.booleans(),
+       array_bytes=st.integers(min_value=8, max_value=1 << 30))
+@settings(max_examples=60, deadline=None)
+def test_reported_fraction_bounds(write_allocate, array_bytes):
+    """Reported bandwidth never exceeds achieved traffic bandwidth."""
+    for kernel in ALL_KERNELS:
+        frac = kernel.reported_fraction(write_allocate)
+        assert 0 < frac <= 1.0
+        assert kernel.actual_bytes(array_bytes, write_allocate) >= \
+            kernel.counted_bytes(array_bytes)
+
+
+@given(samples=st.lists(
+    st.floats(min_value=1e-9, max_value=1e9, allow_nan=False),
+    min_size=1, max_size=200,
+))
+@settings(max_examples=80, deadline=None)
+def test_statistic_invariants(samples):
+    stat = Statistic.from_samples(samples)
+    tol = 1e-9 * max(abs(max(samples)), abs(min(samples)), 1.0)
+    assert min(samples) - tol <= stat.mean <= max(samples) + tol
+    assert stat.std >= 0
+    assert stat.n == len(samples)
+    doubled = stat.scaled(2.0)
+    assert doubled.mean == 2 * stat.mean
+
+
+@given(
+    value=st.floats(min_value=1e-9, max_value=1e9),
+    sigma=st.floats(min_value=0.0, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_noise_positive_and_reproducible(value, sigma, seed):
+    noise = NoiseModel(sigma=sigma)
+    a = noise.sample(np.random.default_rng(seed), value)
+    b = noise.sample(np.random.default_rng(seed), value)
+    assert a == b
+    assert a > 0
+
+
+@given(n=st.integers(min_value=0, max_value=1 << 45))
+@settings(max_examples=80, deadline=None)
+def test_format_parse_size_roundtrip(n):
+    """parse_size inverts format_bytes for exact binary multiples."""
+    text = format_bytes(n)
+    if not any(ch == "." for ch in text):  # exact-prefix renderings only
+        assert parse_size(text) == n

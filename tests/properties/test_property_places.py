@@ -1,0 +1,83 @@
+"""Property-based tests for OpenMP places parsing and binding."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.machines.registry import get_machine
+from repro.openmp.binding import BindPolicy, assign_threads
+from repro.openmp.env import OmpEnvironment
+from repro.openmp.places import parse_places
+from repro.openmp.team import build_team
+
+NODE = get_machine("sawtooth").node
+TOTAL = NODE.total_hardware_threads
+
+
+@given(
+    start=st.integers(min_value=0, max_value=40),
+    length=st.integers(min_value=1, max_value=8),
+    stride=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_interval_expansion(start, length, stride):
+    """{start:length:stride} expands to the arithmetic progression."""
+    assume(start + (length - 1) * stride < TOTAL)
+    places = parse_places(f"{{{start}:{length}:{stride}}}", NODE)
+    assert places == [tuple(start + i * stride for i in range(length))]
+
+
+@given(
+    base_len=st.integers(min_value=1, max_value=4),
+    count=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_replication_produces_disjoint_places(base_len, count):
+    """Default-stride replication tiles hwthreads without overlap."""
+    assume(base_len * count <= TOTAL)
+    places = parse_places(f"{{0:{base_len}}}:{count}", NODE)
+    assert len(places) == count
+    flat = [x for p in places for x in p]
+    assert len(flat) == len(set(flat))
+
+
+@given(
+    policy=st.sampled_from([BindPolicy.CLOSE, BindPolicy.SPREAD,
+                            BindPolicy.MASTER]),
+    nplaces=st.integers(min_value=1, max_value=16),
+    nthreads=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=80, deadline=None)
+def test_binding_assigns_every_thread_a_valid_place(policy, nplaces, nthreads):
+    places = [(i,) for i in range(nplaces)]
+    out = assign_threads(policy, places, nthreads)
+    assert len(out) == nthreads
+    assert all(p in places for p in out)
+
+
+@given(
+    nplaces=st.integers(min_value=1, max_value=16),
+    nthreads=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_spread_maximises_distinct_places(nplaces, nthreads):
+    """spread uses min(T, P) distinct places — the defining property."""
+    places = [(i,) for i in range(nplaces)]
+    out = assign_threads(BindPolicy.SPREAD, places, nthreads)
+    assert len(set(out)) == min(nthreads, nplaces)
+
+
+@given(
+    nthreads=st.integers(min_value=1, max_value=96),
+    bind=st.sampled_from([None, "true", "close", "spread", "master"]),
+    places=st.sampled_from([None, "cores", "threads", "sockets"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_team_invariants(nthreads, bind, places):
+    """Any Table-1-style configuration builds a consistent team."""
+    env = OmpEnvironment(num_threads=nthreads, proc_bind=bind, places=places)
+    team = build_team(NODE, env)
+    assert team.num_threads == nthreads
+    assert 1 <= team.effective_core_count() <= NODE.total_cores
+    if team.bound:
+        assert team.cores_used() <= set(range(NODE.total_cores))
+        assert team.max_threads_per_core() >= 1

@@ -1,0 +1,84 @@
+"""Tests for rendezvous channels."""
+
+from repro.sim.channel import Channel
+from repro.sim.engine import Environment
+
+
+class TestChannel:
+    def test_send_then_recv(self):
+        env = Environment()
+        ch = Channel(env)
+
+        def sender(env):
+            yield ch.send("hello")
+
+        def receiver(env):
+            msg = yield ch.recv()
+            return msg
+
+        env.process(sender(env))
+        proc = env.process(receiver(env))
+        assert env.run(proc) == "hello"
+
+    def test_recv_blocks_for_sender(self):
+        env = Environment()
+        ch = Channel(env)
+
+        def receiver(env):
+            msg = yield ch.recv()
+            return (env.now, msg)
+
+        def sender(env):
+            yield env.timeout(3.0)
+            yield ch.send(99)
+
+        proc = env.process(receiver(env))
+        env.process(sender(env))
+        assert env.run(proc) == (3.0, 99)
+
+    def test_send_blocks_for_receiver(self):
+        env = Environment()
+        ch = Channel(env)
+        done = []
+
+        def sender(env):
+            yield ch.send("x")
+            done.append(env.now)
+
+        def receiver(env):
+            yield env.timeout(5.0)
+            yield ch.recv()
+
+        env.process(sender(env))
+        env.process(receiver(env))
+        env.run()
+        assert done == [5.0]
+
+    def test_fifo_pairing(self):
+        env = Environment()
+        ch = Channel(env)
+        got = []
+
+        def sender(env, value):
+            yield ch.send(value)
+
+        def receiver(env):
+            msg = yield ch.recv()
+            got.append(msg)
+
+        for v in (1, 2, 3):
+            env.process(sender(env, v))
+        for _ in range(3):
+            env.process(receiver(env))
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_pending_counts(self):
+        env = Environment()
+        ch = Channel(env)
+        ch.send("a")
+        ch.send("b")
+        assert ch.pending_sends == 2
+        assert ch.pending_recvs == 0
+        ch.recv()
+        assert ch.pending_sends == 1

@@ -1,0 +1,263 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import AllOf, AnyOf, Environment, Interrupt
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(2.5)
+        env.run()
+        assert env.now == pytest.approx(2.5)
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_time(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(1.0)
+            fired.append(env.now)
+            yield env.timeout(10.0)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert fired == [1.0]
+        assert env.now == 5.0
+
+    def test_run_until_past_horizon_rejected(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return 42
+
+        assert env.run(env.process(proc(env))) == 42
+
+    def test_processes_interleave(self):
+        env = Environment()
+        order = []
+
+        def proc(env, name, delay):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env.process(proc(env, "b", 2.0))
+        env.process(proc(env, "a", 1.0))
+        env.run()
+        assert order == ["a", "b"]
+
+    def test_yield_process_joins(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(3.0)
+            return "done"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return (env.now, value)
+
+        assert env.run(env.process(parent(env))) == (3.0, "done")
+
+    def test_join_already_finished_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(1.0)
+            return 7
+
+        def parent(env, child_proc):
+            yield env.timeout(5.0)
+            value = yield child_proc
+            return value
+
+        child_proc = env.process(child(env))
+        assert env.run(env.process(parent(env, child_proc))) == 7
+
+    def test_exception_propagates_to_run(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            env.run(env.process(bad(env)))
+
+    def test_exception_propagates_to_joiner(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        def parent(env):
+            try:
+                yield env.process(bad(env))
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        assert env.run(env.process(parent(env))) == "caught"
+
+    def test_yield_non_event_fails(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        with pytest.raises(SimulationError):
+            env.run(env.process(bad(env)))
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+
+class TestEvents:
+    def test_manual_succeed(self):
+        env = Environment()
+
+        def waiter(env, ev):
+            value = yield ev
+            return value
+
+        ev = env.event()
+        proc = env.process(waiter(env, ev))
+
+        def trigger(env, ev):
+            yield env.timeout(2.0)
+            ev.succeed("payload")
+
+        env.process(trigger(env, ev))
+        assert env.run(proc) == "payload"
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_failed_event_raises_in_waiter(self):
+        env = Environment()
+
+        def waiter(env, ev):
+            try:
+                yield ev
+            except RuntimeError:
+                return "caught"
+
+        ev = env.event()
+        proc = env.process(waiter(env, ev))
+        ev.fail(RuntimeError("bad"))
+        assert env.run(proc) == "caught"
+
+    def test_deadlock_detected(self):
+        env = Environment()
+
+        def waiter(env):
+            yield env.event()  # never triggered
+
+        proc = env.process(waiter(env))
+        with pytest.raises(DeadlockError):
+            env.run(proc)
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_step_empty_raises(self):
+        with pytest.raises(DeadlockError):
+            Environment().step()
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="a")
+            t2 = env.timeout(3.0, value="b")
+            results = yield AllOf(env, [t1, t2])
+            return (env.now, sorted(results.values()))
+
+        assert env.run(env.process(proc(env))) == (3.0, ["a", "b"])
+
+    def test_any_of_returns_at_first(self):
+        env = Environment()
+
+        def proc(env):
+            t1 = env.timeout(1.0, value="fast")
+            t2 = env.timeout(3.0, value="slow")
+            yield AnyOf(env, [t1, t2])
+            return env.now
+
+        assert env.run(env.process(proc(env))) == 1.0
+
+    def test_empty_all_of_triggers_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield AllOf(env, [])
+            return env.now
+
+        assert env.run(env.process(proc(env))) == 0.0
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as exc:
+                return ("interrupted", env.now, exc.cause)
+
+        def interrupter(env, victim):
+            yield env.timeout(2.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        assert env.run(victim) == ("interrupted", 2.0, "wake up")
+
+    def test_interrupt_dead_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.1)
+
+        proc = env.process(quick(env))
+        env.run(proc)
+        with pytest.raises(SimulationError):
+            proc.interrupt()

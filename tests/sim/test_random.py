@@ -1,0 +1,82 @@
+"""Tests for deterministic RNG streams and the noise model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.random import NoiseModel, RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_path_same_stream(self):
+        streams = RandomStreams(42)
+        a = streams.get("frontier", "osu").standard_normal(8)
+        b = streams.get("frontier", "osu").standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_paths_differ(self):
+        streams = RandomStreams(42)
+        a = streams.get("frontier", "osu").standard_normal(8)
+        b = streams.get("summit", "osu").standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("x").standard_normal(8)
+        b = RandomStreams(2).get("x").standard_normal(8)
+        assert not np.array_equal(a, b)
+
+    def test_path_separator_is_unambiguous(self):
+        streams = RandomStreams(0)
+        # ("ab", "c") must not collide with ("a", "bc")
+        assert streams.seed_for("ab", "c") != streams.seed_for("a", "bc")
+
+    def test_seed_is_64bit_int(self):
+        seed = RandomStreams(7).seed_for("anything")
+        assert 0 <= seed < 2**64
+
+
+class TestNoiseModel:
+    def test_zero_sigma_is_identity(self):
+        noise = NoiseModel(sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert noise.sample(rng, 5.0) == 5.0
+
+    def test_sample_positive(self):
+        noise = NoiseModel(sigma=0.05)
+        rng = np.random.default_rng(0)
+        samples = [noise.sample(rng, 1.0) for _ in range(200)]
+        assert all(s > 0 for s in samples)
+
+    def test_sample_mean_near_value(self):
+        noise = NoiseModel(sigma=0.01)
+        rng = np.random.default_rng(0)
+        samples = noise.sample_many(rng, 10.0, 5000)
+        assert samples.mean() == pytest.approx(10.0, rel=0.01)
+
+    def test_sample_cov_matches_sigma(self):
+        noise = NoiseModel(sigma=0.02)
+        rng = np.random.default_rng(1)
+        samples = noise.sample_many(rng, 100.0, 20000)
+        cov = samples.std() / samples.mean()
+        assert cov == pytest.approx(0.02, rel=0.15)
+
+    def test_floor_adds_spread_near_zero(self):
+        noise = NoiseModel(sigma=0.0, floor=1e-9)
+        rng = np.random.default_rng(0)
+        samples = noise.sample_many(rng, 0.0, 100)
+        assert samples.std() > 0
+
+    def test_negative_value_rejected(self):
+        noise = NoiseModel()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            noise.sample(rng, -1.0)
+        with pytest.raises(ValueError):
+            noise.sample_many(rng, -1.0, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel().sample_many(np.random.default_rng(0), 1.0, -1)
+
+    def test_sample_many_shape(self):
+        out = NoiseModel(sigma=0.1).sample_many(np.random.default_rng(0), 2.0, 17)
+        assert out.shape == (17,)

@@ -1,0 +1,181 @@
+"""Tests for Resource / PriorityResource / Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.resources import PriorityResource, Resource, Store
+
+
+def hold(env, res, log, name, duration):
+    req = res.request()
+    yield req
+    log.append((env.now, name, "acquired"))
+    yield env.timeout(duration)
+    res.release(req)
+
+
+class TestResource:
+    def test_capacity_serialises(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+        env.process(hold(env, res, log, "a", 1.0))
+        env.process(hold(env, res, log, "b", 1.0))
+        env.run()
+        assert log == [(0.0, "a", "acquired"), (1.0, "b", "acquired")]
+
+    def test_capacity_two_runs_in_parallel(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = []
+        for name in "abc":
+            env.process(hold(env, res, log, name, 1.0))
+        env.run()
+        assert log[0][0] == 0.0 and log[1][0] == 0.0
+        assert log[2] == (1.0, "c", "acquired")
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+        for name in "abcd":
+            env.process(hold(env, res, log, name, 1.0))
+        env.run()
+        assert [e[1] for e in log] == list("abcd")
+
+    def test_count_tracks_users(self):
+        env = Environment()
+        res = Resource(env, capacity=3)
+        reqs = [res.request() for _ in range(2)]
+        assert res.count == 2
+        res.release(reqs[0])
+        assert res.count == 1
+
+    def test_release_foreign_request_rejected(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        other = Resource(env, capacity=1)
+        req = other.request()
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        held = res.request()
+        queued = res.request()
+        assert not queued.triggered
+        res.release(queued)  # cancel from queue
+        res.release(held)
+        assert res.count == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestPriorityResource:
+    def test_priority_order(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        log = []
+
+        def worker(env, name, prio):
+            req = res.request(priority=prio)
+            yield req
+            log.append(name)
+            yield env.timeout(1.0)
+            res.release(req)
+
+        def starter(env):
+            first = res.request(priority=0)
+            yield env.timeout(0)
+            env.process(worker(env, "low", 5))
+            env.process(worker(env, "high", 1))
+            yield env.timeout(1.0)
+            res.release(first)
+
+        env.process(starter(env))
+        env.run()
+        assert log == ["high", "low"]
+
+    def test_ties_fifo(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        log = []
+
+        def worker(env, name):
+            req = res.request(priority=3)
+            yield req
+            log.append(name)
+            yield env.timeout(1.0)
+            res.release(req)
+
+        blocker = res.request(priority=0)
+        env.process(worker(env, "first"))
+        env.process(worker(env, "second"))
+        env.run()
+        res.release(blocker)
+        env.run()
+        assert log == ["first", "second"]
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                results.append(item)
+
+        for item in (1, 2, 3):
+            store.put(item)
+        env.process(consumer(env))
+        env.run()
+        assert results == [1, 2, 3]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(4.0)
+            store.put("x")
+
+        proc = env.process(consumer(env))
+        env.process(producer(env))
+        assert env.run(proc) == (4.0, "x")
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        store.put("a")
+        blocked = store.put("b")
+        assert not blocked.triggered
+
+        def consumer(env):
+            yield store.get()
+
+        env.process(consumer(env))
+        env.run()
+        assert blocked.triggered
+        assert store.items == ["b"]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        assert len(store) == 0
+        store.put(1)
+        assert len(store) == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Store(Environment(), capacity=0)

@@ -1,0 +1,63 @@
+"""Tests for the trace recorder."""
+
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "dma", "h2d.begin")
+        tr.record(2.0, "dma", "h2d.end")
+        assert len(tr) == 2
+        assert [e.time for e in tr] == [1.0, 2.0]
+
+    def test_filter_by_category(self):
+        tr = TraceRecorder()
+        tr.record(0.0, "dma", "x")
+        tr.record(0.0, "kernel", "y")
+        assert len(tr.filter(category="dma")) == 1
+
+    def test_filter_by_label(self):
+        tr = TraceRecorder()
+        tr.record(0.0, "dma", "a")
+        tr.record(0.0, "dma", "b")
+        assert len(tr.filter(label="a")) == 1
+
+    def test_attrs_kept(self):
+        tr = TraceRecorder()
+        tr.record(0.0, "dma", "x", nbytes=128, route=("a", "b"))
+        ev = list(tr)[0]
+        assert ev.attrs["nbytes"] == 128
+
+    def test_disabled_records_nothing(self):
+        assert len(NULL_TRACE) == 0
+        NULL_TRACE.record(0.0, "x", "y")
+        assert len(NULL_TRACE) == 0
+
+    def test_max_events_drops(self):
+        tr = TraceRecorder(max_events=2)
+        for i in range(5):
+            tr.record(float(i), "c", "l")
+        assert len(tr) == 2
+        assert tr.dropped == 3
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record(0.0, "c", "l")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.dropped == 0
+
+    def test_categories(self):
+        tr = TraceRecorder()
+        tr.record(0.0, "dma", "x")
+        tr.record(0.0, "kernel", "y")
+        assert tr.categories() == {"dma", "kernel"}
+
+    def test_spans_pairing(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "dma", "copy.begin")
+        tr.record(3.0, "dma", "copy.end")
+        tr.record(4.0, "dma", "copy.begin")
+        tr.record(9.0, "dma", "copy.end")
+        assert tr.spans("dma") == [(1.0, 3.0), (4.0, 9.0)]

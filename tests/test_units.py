@@ -1,0 +1,112 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro.errors import UnitParseError
+from repro.units import (
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    format_bytes,
+    format_latency,
+    format_rate,
+    gb_per_s,
+    ns,
+    parse_size,
+    to_gb_per_s,
+    to_ns,
+    to_us,
+    us,
+)
+
+
+class TestTimeConversions:
+    def test_us_roundtrip(self):
+        assert to_us(us(12.5)) == pytest.approx(12.5)
+
+    def test_ns_roundtrip(self):
+        assert to_ns(ns(85.0)) == pytest.approx(85.0)
+
+    def test_us_is_seconds(self):
+        assert us(1.0) == pytest.approx(1e-6)
+
+    def test_ns_is_seconds(self):
+        assert ns(1.0) == pytest.approx(1e-9)
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_bare_number_string(self):
+        assert parse_size("128") == 128
+
+    def test_decimal_prefixes(self):
+        assert parse_size("1KB") == 1000
+        assert parse_size("1MB") == 10**6
+        assert parse_size("2GB") == 2 * 10**9
+
+    def test_binary_prefixes(self):
+        assert parse_size("1KiB") == KiB
+        assert parse_size("1MiB") == MiB
+        assert parse_size("1GiB") == GiB
+
+    def test_case_insensitive(self):
+        assert parse_size("1gib") == GiB
+        assert parse_size("3mb") == 3 * 10**6
+
+    def test_fractional(self):
+        assert parse_size("1.5KiB") == 1536
+
+    def test_whitespace(self):
+        assert parse_size("  128 MiB ") == 128 * MiB
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(UnitParseError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(UnitParseError):
+            parse_size("12 parsecs")
+
+    def test_empty_rejected(self):
+        with pytest.raises(UnitParseError):
+            parse_size("")
+
+
+class TestRates:
+    def test_gb_per_s_roundtrip(self):
+        assert to_gb_per_s(gb_per_s(900.0)) == pytest.approx(900.0)
+
+    def test_gb_is_decimal(self):
+        assert gb_per_s(1.0) == GB
+
+
+class TestFormatting:
+    def test_format_bytes_exact_prefix(self):
+        assert format_bytes(2 * GiB) == "2GiB"
+        assert format_bytes(128 * MiB) == "128MiB"
+
+    def test_format_bytes_fractional(self):
+        assert format_bytes(1536) == "1.50KiB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(128) == "128B"
+
+    def test_format_bytes_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_format_rate(self):
+        assert format_rate(gb_per_s(24.87)) == "24.87 GB/s"
+
+    def test_format_latency(self):
+        assert format_latency(us(12.02)) == "12.02 us"
+
+    def test_nan_size_rejected(self):
+        with pytest.raises(UnitParseError):
+            parse_size("nan")
+        assert not math.isnan(parse_size("1"))
