@@ -32,6 +32,7 @@ from .machines import (
     machine_names,
 )
 from .core import Study, StudyConfig, Statistic
+from .faults import FaultPlan, get_profile
 
 __all__ = [
     "__version__",
@@ -45,4 +46,6 @@ __all__ = [
     "Study",
     "StudyConfig",
     "Statistic",
+    "FaultPlan",
+    "get_profile",
 ]

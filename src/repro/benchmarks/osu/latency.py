@@ -57,16 +57,22 @@ def measure_pingpong(
     buffer: BufferKind,
     timed_iterations: int = 2,
     warmup: int = 1,
+    injector=None,
+    max_events: int | None = None,
 ) -> float:
     """One-way latency from a discrete-event ping-pong, seconds.
 
     The protocol is deterministic within a run, so a couple of timed
     iterations measure it exactly; callers model run-to-run jitter on
-    top (see :func:`osu_latency`).
+    top (see :func:`osu_latency`).  ``injector`` arms transport fault
+    injection (message drop -> retransmit, stragglers) and
+    ``max_events`` the simulation watchdog.
     """
     if nbytes < 0:
         raise BenchmarkConfigError(f"negative message size: {nbytes}")
-    world = MpiWorld(machine, list(pair))
+    world = MpiWorld(
+        machine, list(pair), injector=injector, max_events=max_events
+    )
     total = timed_iterations
 
     def rank0(ctx: RankContext):
@@ -94,10 +100,15 @@ def osu_latency(
     buffer: BufferKind = BufferKind.HOST,
     rng: np.random.Generator | None = None,
     noise: NoiseModel = NOISE_LATENCY,
+    injector=None,
+    max_events: int | None = None,
 ) -> LatencyResult:
     """One binary execution of osu_latency at one message size."""
     iterations, warmup = _iteration_counts(nbytes)
-    base = measure_pingpong(machine, pair, nbytes, buffer)
+    base = measure_pingpong(
+        machine, pair, nbytes, buffer,
+        injector=injector, max_events=max_events,
+    )
     latency = base if rng is None else noise.sample(rng, base)
     return LatencyResult(
         machine=machine.name,
@@ -114,11 +125,28 @@ def osu_latency_sweep(
     pair: tuple[RankLocation, RankLocation],
     buffer: BufferKind = BufferKind.HOST,
     max_bytes: int = 1 << 22,
+    sizes: "tuple[int, ...] | list[int] | None" = None,
 ) -> list[LatencyResult]:
-    """The full upstream sweep: 0 B then powers of two up to 4 MiB."""
-    sizes = [0]
-    size = 1
-    while size <= max_bytes:
-        sizes.append(size)
-        size *= 2
+    """The upstream sweep: 0 B then powers of two up to 4 MiB.
+
+    ``sizes`` overrides the default set; it must be non-empty and
+    strictly increasing (a shuffled sweep almost always means a caller
+    bug, and the curve renderers assume monotone x).
+    """
+    if sizes is None:
+        sizes = [0]
+        size = 1
+        while size <= max_bytes:
+            sizes.append(size)
+            size *= 2
+    else:
+        sizes = list(sizes)
+        if not sizes:
+            raise BenchmarkConfigError("sweep sizes must not be empty")
+        if any(n < 0 for n in sizes):
+            raise BenchmarkConfigError(f"negative sweep size in {sizes!r}")
+        if any(b <= a for a, b in zip(sizes, sizes[1:])):
+            raise BenchmarkConfigError(
+                f"sweep sizes must be strictly increasing: {sizes!r}"
+            )
     return [osu_latency(machine, pair, n, buffer) for n in sizes]

@@ -32,6 +32,8 @@ def latency_for_pair(
     nbytes: int = 0,
     rng: np.random.Generator | None = None,
     noise: NoiseModel = NOISE_LATENCY,
+    injector=None,
+    max_events: int | None = None,
 ) -> LatencyResult:
     """Host-buffer osu_latency for the paper's named pairing."""
     if kind == PairKind.ON_SOCKET:
@@ -40,7 +42,10 @@ def latency_for_pair(
         pair = on_node_pair(machine)
     else:  # pragma: no cover - enum is exhaustive
         raise BenchmarkConfigError(f"unknown pair kind: {kind}")
-    return osu_latency(machine, pair, nbytes, BufferKind.HOST, rng, noise)
+    return osu_latency(
+        machine, pair, nbytes, BufferKind.HOST, rng, noise,
+        injector=injector, max_events=max_events,
+    )
 
 
 def device_latency_by_class(
@@ -48,6 +53,8 @@ def device_latency_by_class(
     nbytes: int = 0,
     rng: np.random.Generator | None = None,
     noise: NoiseModel = NOISE_LATENCY,
+    injector=None,
+    max_events: int | None = None,
 ) -> dict[LinkClass, LatencyResult]:
     """Device-buffer osu_latency for one representative pair per class."""
     if not machine.node.has_gpus:
@@ -57,5 +64,8 @@ def device_latency_by_class(
     out: dict[LinkClass, LatencyResult] = {}
     for cls, (a, b) in topo.representative_pairs().items():
         pair = device_pair(machine, names.index(a), names.index(b))
-        out[cls] = osu_latency(machine, pair, nbytes, BufferKind.DEVICE, rng, noise)
+        out[cls] = osu_latency(
+            machine, pair, nbytes, BufferKind.DEVICE, rng, noise,
+            injector=injector, max_events=max_events,
+        )
     return out

@@ -7,6 +7,7 @@ Table 7 ranges; :mod:`~repro.core.figures` renders the node diagrams of
 Figures 1-3.
 """
 
+from .resilience import DEGRADED_MARK, Degraded, ResilienceLog
 from .results import Statistic
 from .spec import ExperimentSpec, all_experiments, get_experiment
 from .study import Study, StudyConfig
@@ -25,6 +26,9 @@ from .summary import Table7Row, build_table7, render_table7
 from .figures import render_node_ascii, render_node_dot, figure_for
 
 __all__ = [
+    "DEGRADED_MARK",
+    "Degraded",
+    "ResilienceLog",
     "Statistic",
     "ExperimentSpec",
     "all_experiments",

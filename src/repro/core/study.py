@@ -35,6 +35,7 @@ from ..benchmarks.osu.runner import (
     latency_for_pair,
 )
 from ..errors import BenchmarkConfigError
+from ..faults import FaultPlan, make_injector
 from ..hardware.topology import LinkClass
 from ..machines.base import Machine
 from ..sim.random import (
@@ -45,12 +46,18 @@ from ..sim.random import (
     NoiseModel,
     RandomStreams,
 )
+from .resilience import Degraded, ResilienceLog, run_cell
 from .results import Statistic
 
 
 @dataclass(frozen=True)
 class StudyConfig:
-    """Knobs for one study pass."""
+    """Knobs for one study pass.
+
+    Every parameter is validated here, at construction — a bad value
+    raises :class:`~repro.errors.ReproError` immediately with a clear
+    message instead of failing hundreds of events deep inside a sweep.
+    """
 
     runs: int = 100
     seed: int = 20230612
@@ -59,10 +66,55 @@ class StudyConfig:
     cpu_array_bytes: int | None = None
     #: array size for the device BabelStream run (None = paper's 1 GB)
     gpu_array_bytes: int | None = None
+    #: fault plan injected into the study (None or a null plan = clean)
+    faults: FaultPlan | None = None
+    #: extra attempts per benchmark cell before it degrades
+    max_retries: int = 2
+    #: per-cell simulation event budget (watchdog); None = unbounded
+    cell_max_events: int | None = 5_000_000
+    #: explicit osu_latency sweep sizes (None = upstream power-of-two set)
+    latency_sweep_sizes: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
-        if self.runs < 1:
-            raise BenchmarkConfigError(f"runs must be >= 1: {self.runs}")
+        if not isinstance(self.runs, int) or self.runs < 1:
+            raise BenchmarkConfigError(f"runs must be an int >= 1: {self.runs!r}")
+        if not isinstance(self.seed, int):
+            raise BenchmarkConfigError(f"seed must be an int: {self.seed!r}")
+        for name in ("cpu_array_bytes", "gpu_array_bytes"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, int) or value <= 0):
+                raise BenchmarkConfigError(
+                    f"{name} must be a positive int or None: {value!r}"
+                )
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise BenchmarkConfigError(
+                f"max_retries must be an int >= 0: {self.max_retries!r}"
+            )
+        if self.cell_max_events is not None and (
+            not isinstance(self.cell_max_events, int) or self.cell_max_events < 1
+        ):
+            raise BenchmarkConfigError(
+                f"cell_max_events must be a positive int or None: "
+                f"{self.cell_max_events!r}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise BenchmarkConfigError(
+                f"faults must be a FaultPlan or None: {self.faults!r}"
+            )
+        sizes = self.latency_sweep_sizes
+        if sizes is not None:
+            if len(sizes) == 0:
+                raise BenchmarkConfigError("latency_sweep_sizes must not be empty")
+            for size in sizes:
+                if not isinstance(size, int) or size < 0:
+                    raise BenchmarkConfigError(
+                        f"latency_sweep_sizes entries must be ints >= 0: {size!r}"
+                    )
+            if any(b <= a for a, b in zip(sizes, sizes[1:])):
+                raise BenchmarkConfigError(
+                    "latency_sweep_sizes must be strictly increasing: "
+                    f"{sizes!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -77,26 +129,61 @@ class CommScopeStats:
 
 
 class Study:
-    """Runs the paper's measurement protocol on simulated machines."""
+    """Runs the paper's measurement protocol on simulated machines.
+
+    With a fault plan armed (``config.faults``), every cell runs inside
+    a resilient attempt loop: injected node failures and watchdog
+    timeouts consume bounded retries, and exhausted cells degrade to a
+    ``—†`` marker (collected in :attr:`resilience`) instead of crashing
+    the sweep.  Straggler faults perturb the per-execution samples; in
+    ``exact`` mode the transport faults additionally run through the
+    discrete-event protocol itself (drop -> retransmit machinery).
+    """
 
     def __init__(self, config: StudyConfig | None = None) -> None:
         self.config = config or StudyConfig()
         self.streams = RandomStreams(self.config.seed)
+        #: None when no plan (or a null plan) is armed — that guarantee
+        #: is what keeps ``--faults none`` byte-identical to pre-fault runs
+        self.injector = make_injector(self.config.faults, self.streams)
+        self.resilience = ResilienceLog()
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _samples(
-        self, base: float, noise: NoiseModel, *path: str
+        self, base: float, noise: NoiseModel, *path: str, kind: str = "latency"
     ) -> np.ndarray:
         rng = self.streams.get(*path)
-        return noise.sample_many(rng, base, self.config.runs)
+        samples = noise.sample_many(rng, base, self.config.runs)
+        if self.injector is not None:
+            samples = self.injector.perturb_samples(samples, *path, kind=kind)
+        return samples
+
+    def _cell(self, fn, *label: str):
+        """Run one benchmark cell resiliently (bounded retries, degrade)."""
+        return run_cell(
+            fn,
+            label=label,
+            injector=self.injector,
+            max_retries=self.config.max_retries,
+            log=self.resilience,
+        )
 
     # ------------------------------------------------------------------
     # BabelStream
     # ------------------------------------------------------------------
-    def cpu_bandwidth(self, machine: Machine, single_thread: bool) -> Statistic:
+    def cpu_bandwidth(
+        self, machine: Machine, single_thread: bool
+    ) -> Statistic | Degraded:
         """Table 4 "Single"/"All" cell: best over Table 1 configs x ops."""
+        label = "single" if single_thread else "all"
+        return self._cell(
+            lambda: self._cpu_bandwidth(machine, single_thread),
+            machine.name, "babelstream-cpu", label,
+        )
+
+    def _cpu_bandwidth(self, machine: Machine, single_thread: bool) -> Statistic:
         if self.config.exact:
             best = best_cpu_bandwidth(
                 machine,
@@ -115,11 +202,18 @@ class Study:
         label = "single" if single_thread else "all"
         return Statistic.from_samples(
             self._samples(base, NOISE_CPU_BANDWIDTH,
-                          machine.name, "babelstream-cpu", label)
+                          machine.name, "babelstream-cpu", label,
+                          kind="bandwidth")
         )
 
-    def gpu_bandwidth(self, machine: Machine) -> Statistic:
+    def gpu_bandwidth(self, machine: Machine) -> Statistic | Degraded:
         """Table 5 "Device" cell: best over ops at the 1 GB size."""
+        return self._cell(
+            lambda: self._gpu_bandwidth(machine),
+            machine.name, "babelstream-gpu",
+        )
+
+    def _gpu_bandwidth(self, machine: Machine) -> Statistic:
         size = self.config.gpu_array_bytes or default_gpu_size()
         if self.config.exact:
             best = best_gpu_bandwidth(
@@ -133,38 +227,63 @@ class Study:
         )
         return Statistic.from_samples(
             self._samples(float(best.samples[0]), NOISE_BANDWIDTH,
-                          machine.name, "babelstream-gpu")
+                          machine.name, "babelstream-gpu", kind="bandwidth")
         )
 
     # ------------------------------------------------------------------
     # OSU latency
     # ------------------------------------------------------------------
-    def host_latency(self, machine: Machine, kind: PairKind) -> Statistic:
+    def host_latency(
+        self, machine: Machine, kind: PairKind
+    ) -> Statistic | Degraded:
         """Table 4 on-socket/on-node or Table 5 host-to-host cell."""
+        return self._cell(
+            lambda: self._host_latency(machine, kind),
+            machine.name, "osu", kind.value,
+        )
+
+    def _host_latency(self, machine: Machine, kind: PairKind) -> Statistic:
+        budget = self.config.cell_max_events
         if self.config.exact:
             rng = self.streams.get(machine.name, "osu", kind.value)
             samples = [
-                latency_for_pair(machine, kind, rng=rng).latency
+                latency_for_pair(
+                    machine, kind, rng=rng,
+                    injector=self.injector, max_events=budget,
+                ).latency
                 for _ in range(self.config.runs)
             ]
             return Statistic.from_samples(samples)
-        base = latency_for_pair(machine, kind).latency
+        base = latency_for_pair(machine, kind, max_events=budget).latency
         return Statistic.from_samples(
             self._samples(base, NOISE_LATENCY, machine.name, "osu", kind.value)
         )
 
-    def device_latency(self, machine: Machine) -> dict[LinkClass, Statistic]:
+    def device_latency(
+        self, machine: Machine
+    ) -> dict[LinkClass, Statistic] | Degraded:
         """Table 5 device-to-device cells, one per link class."""
+        return self._cell(
+            lambda: self._device_latency(machine),
+            machine.name, "osu", "device",
+        )
+
+    def _device_latency(self, machine: Machine) -> dict[LinkClass, Statistic]:
+        budget = self.config.cell_max_events
         if self.config.exact:
             rng = self.streams.get(machine.name, "osu", "device")
             acc: dict[LinkClass, list[float]] = {}
             for _ in range(self.config.runs):
-                for cls, res in device_latency_by_class(machine, rng=rng).items():
+                by_class = device_latency_by_class(
+                    machine, rng=rng,
+                    injector=self.injector, max_events=budget,
+                )
+                for cls, res in by_class.items():
                     acc.setdefault(cls, []).append(res.latency)
             return {
                 cls: Statistic.from_samples(v) for cls, v in acc.items()
             }
-        bases = device_latency_by_class(machine)
+        bases = device_latency_by_class(machine, max_events=budget)
         return {
             cls: Statistic.from_samples(
                 self._samples(res.latency, NOISE_LATENCY,
@@ -176,8 +295,11 @@ class Study:
     # ------------------------------------------------------------------
     # Comm|Scope
     # ------------------------------------------------------------------
-    def commscope(self, machine: Machine) -> CommScopeStats:
+    def commscope(self, machine: Machine) -> CommScopeStats | Degraded:
         """Table 6 row for one machine."""
+        return self._cell(lambda: self._commscope(machine), machine.name, "cs")
+
+    def _commscope(self, machine: Machine) -> CommScopeStats:
         if self.config.exact:
             rng = self.streams.get(machine.name, "commscope")
             results = [
@@ -187,18 +309,45 @@ class Study:
         base = run_commscope(machine)
         name = machine.name
 
-        def stat(value: float, noise: NoiseModel, *path: str) -> Statistic:
-            return Statistic.from_samples(self._samples(value, noise, *path))
+        def stat(value: float, noise: NoiseModel, *path: str,
+                 kind: str = "latency") -> Statistic:
+            return Statistic.from_samples(
+                self._samples(value, noise, *path, kind=kind)
+            )
 
         return CommScopeStats(
             launch=stat(base.launch, NOISE_LAUNCH, name, "cs", "launch"),
             wait=stat(base.wait, NOISE_LAUNCH, name, "cs", "wait"),
             hd_latency=stat(base.hd_latency, NOISE_LATENCY, name, "cs", "hdlat"),
-            hd_bandwidth=stat(base.hd_bandwidth, NOISE_BANDWIDTH, name, "cs", "hdbw"),
+            hd_bandwidth=stat(base.hd_bandwidth, NOISE_BANDWIDTH, name, "cs",
+                              "hdbw", kind="bandwidth"),
             d2d_latency={
                 cls: stat(v, NOISE_LATENCY, name, "cs", "d2d", cls.value)
                 for cls, v in base.d2d_latency.items()
             },
+        )
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def latency_sweep(
+        self, machine: Machine, kind: PairKind = PairKind.ON_SOCKET
+    ):
+        """osu_latency over the configured message-size sweep.
+
+        Uses ``config.latency_sweep_sizes`` (validated strictly
+        increasing at construction) when set, else the upstream
+        power-of-two set.
+        """
+        from ..benchmarks.osu.latency import osu_latency_sweep
+        from ..mpisim.placement import on_node_pair, on_socket_pair
+
+        pair = (
+            on_socket_pair(machine) if kind == PairKind.ON_SOCKET
+            else on_node_pair(machine)
+        )
+        return osu_latency_sweep(
+            machine, pair, sizes=self.config.latency_sweep_sizes
         )
 
     @staticmethod

@@ -13,6 +13,7 @@ from ..errors import BenchmarkConfigError
 from ..hardware.gpu import GpuFamily
 from ..hardware.topology import LinkClass
 from ..machines.registry import gpu_machines
+from .resilience import Degraded
 from .tables import Table5Row, Table6Row
 
 #: the paper's family row order
@@ -41,6 +42,21 @@ def _range(values: list[float]) -> Range:
     if not values:
         raise BenchmarkConfigError("empty range")
     return Range(min(values), max(values))
+
+
+def _means(cells: list) -> list[float]:
+    """Per-machine means, skipping degraded cells."""
+    return [c.mean for c in cells if not isinstance(c, Degraded)]
+
+
+def _class_a_mean(cell) -> "float | None":
+    """The class-A mean of a per-class dict, or None if degraded/absent."""
+    if isinstance(cell, Degraded):
+        return None
+    stat = cell.get(LinkClass.A)
+    if stat is None or isinstance(stat, Degraded):
+        return None
+    return stat.mean
 
 
 @dataclass(frozen=True)
@@ -75,19 +91,30 @@ def build_table7(
         t6 = [t6_by_name[r.machine] for r in t5 if r.machine in t6_by_name]
         if not t5 or not t6:
             continue
-        # Table 5 quantities
-        mem = [r.device_bw.mean for r in t5]
+        # Table 5 quantities; degraded cells cannot contribute a mean,
+        # so they are left out of the family ranges
+        mem = _means([r.device_bw for r in t5])
         # the paper's "MPI Lat." column ranges over the class-A means
         # (18.10-18.72 for V100 — the ~19.5 us class-B cells excluded)
-        mpi = [r.device_to_device[LinkClass.A].mean for r in t5]
+        mpi = [
+            v for v in (_class_a_mean(r.device_to_device) for r in t5)
+            if v is not None
+        ]
         # Table 6 quantities
-        launch = [r.launch.mean for r in t6]
-        wait = [r.wait.mean for r in t6]
-        hdl = [r.hd_latency.mean for r in t6]
-        hdb = [r.hd_bandwidth.mean for r in t6]
+        launch = _means([r.launch for r in t6])
+        wait = _means([r.wait for r in t6])
+        hdl = _means([r.hd_latency for r in t6])
+        hdb = _means([r.hd_bandwidth for r in t6])
         # like the MPI column, the paper ranges over the class-A cells
         # (its Table 7 V100 row is 23.91-24.97, excluding class B)
-        d2d = [r.d2d_latency[LinkClass.A].mean for r in t6]
+        d2d = [
+            v for v in (_class_a_mean(r.d2d_latency) for r in t6)
+            if v is not None
+        ]
+        if not all((mem, mpi, launch, wait, hdl, hdb, d2d)):
+            # every machine of the family degraded for some quantity:
+            # no range to report
+            continue
         rows_by_family[family] = Table7Row(
             family=family,
             memory_bw=_range(mem),
@@ -111,7 +138,10 @@ def render_table7(rows: list[Table7Row]) -> str:
          r.d2d_latency.format()]
         for r in rows
     ]
-    widths = [max(len(h), *(len(b[i]) for b in body)) for i, h in enumerate(headers)]
+    widths = [
+        max(len(h), *(len(b[i]) for b in body)) if body else len(h)
+        for i, h in enumerate(headers)
+    ]
     def fmt(cells):
         return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
     sep = "  ".join("-" * w for w in widths)

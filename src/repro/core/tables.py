@@ -14,6 +14,7 @@ from ..machines.base import Machine
 from ..machines.registry import cpu_machines, gpu_machines
 from ..benchmarks.osu.runner import PairKind
 from ..units import GB, US
+from .resilience import Degraded, degraded_in
 from .results import Statistic
 from .study import Study
 
@@ -68,14 +69,20 @@ def build_table4(
 
 @dataclass(frozen=True)
 class Table5Row:
-    """One GPU machine: device bandwidth (GB/s) and MPI latencies (us)."""
+    """One GPU machine: device bandwidth (GB/s) and MPI latencies (us).
+
+    Any field may hold a :class:`Degraded` marker instead of a
+    statistic when the study ran under fault injection.
+    """
 
     machine: str
     rank: int
     device_bw: Statistic
     peak_label: str
     host_to_host: Statistic
-    device_to_device: dict[LinkClass, Statistic] = field(default_factory=dict)
+    device_to_device: dict[LinkClass, Statistic] | Degraded = field(
+        default_factory=dict
+    )
 
 
 def build_table5(
@@ -85,6 +92,11 @@ def build_table5(
     machines = machines if machines is not None else gpu_machines()
     rows = []
     for m in machines:
+        by_class = study.device_latency(m)
+        if not isinstance(by_class, Degraded):
+            by_class = {
+                cls: stat.scaled(_TO_US) for cls, stat in by_class.items()
+            }
         rows.append(
             Table5Row(
                 machine=m.name,
@@ -92,10 +104,7 @@ def build_table5(
                 device_bw=study.gpu_bandwidth(m).scaled(_TO_GBS),
                 peak_label=m.peak_label,
                 host_to_host=study.host_latency(m, PairKind.ON_SOCKET).scaled(_TO_US),
-                device_to_device={
-                    cls: stat.scaled(_TO_US)
-                    for cls, stat in study.device_latency(m).items()
-                },
+                device_to_device=by_class,
             )
         )
     return rows
@@ -115,7 +124,9 @@ class Table6Row:
     wait: Statistic
     hd_latency: Statistic
     hd_bandwidth: Statistic
-    d2d_latency: dict[LinkClass, Statistic] = field(default_factory=dict)
+    d2d_latency: dict[LinkClass, Statistic] | Degraded = field(
+        default_factory=dict
+    )
 
 
 def build_table6(
@@ -126,6 +137,14 @@ def build_table6(
     rows = []
     for m in machines:
         cs = study.commscope(m)
+        if isinstance(cs, Degraded):
+            rows.append(
+                Table6Row(
+                    machine=m.name, rank=m.rank, launch=cs, wait=cs,
+                    hd_latency=cs, hd_bandwidth=cs, d2d_latency=cs,
+                )
+            )
+            continue
         rows.append(
             Table6Row(
                 machine=m.name,
@@ -158,11 +177,33 @@ def _layout(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
 
 
-def _class_cells(stats: dict[LinkClass, Statistic]) -> list[str]:
+def _class_cells(
+    stats: dict[LinkClass, Statistic] | Degraded,
+) -> list[str]:
+    if isinstance(stats, Degraded):
+        return [stats.format()] * len(CLASS_ORDER)
     return [
         stats[cls].format() if cls in stats else ""
         for cls in CLASS_ORDER
     ]
+
+
+def _footnotes(cells: list) -> str:
+    """Footnote block for every distinct degraded cell, or ''.
+
+    Distinctness is by identity: a degraded stats bundle (Comm|Scope)
+    puts the same :class:`Degraded` object in several columns and must
+    footnote once.
+    """
+    seen: dict[int, Degraded] = {}
+    for cell in cells:
+        for entry in degraded_in(cell):
+            seen.setdefault(id(entry), entry)
+    if not seen:
+        return ""
+    return "\n" + "\n".join(
+        f"† degraded: {entry.footnote()}" for entry in seen.values()
+    )
 
 
 def render_table4(rows: list[Table4Row]) -> str:
@@ -173,7 +214,10 @@ def render_table4(rows: list[Table4Row]) -> str:
          r.peak_label, r.on_socket.format(), r.on_node.format()]
         for r in rows
     ]
-    return _layout(headers, body)
+    notes = _footnotes(
+        [c for r in rows for c in (r.single, r.all_threads, r.on_socket, r.on_node)]
+    )
+    return _layout(headers, body) + notes
 
 
 def render_table5(rows: list[Table5Row]) -> str:
@@ -184,7 +228,10 @@ def render_table5(rows: list[Table5Row]) -> str:
          r.host_to_host.format(), *_class_cells(r.device_to_device)]
         for r in rows
     ]
-    return _layout(headers, body)
+    notes = _footnotes(
+        [c for r in rows for c in (r.device_bw, r.host_to_host, r.device_to_device)]
+    )
+    return _layout(headers, body) + notes
 
 
 def render_table6(rows: list[Table6Row]) -> str:
@@ -196,4 +243,8 @@ def render_table6(rows: list[Table6Row]) -> str:
          *_class_cells(r.d2d_latency)]
         for r in rows
     ]
-    return _layout(headers, body)
+    notes = _footnotes(
+        [c for r in rows
+         for c in (r.launch, r.wait, r.hd_latency, r.hd_bandwidth, r.d2d_latency)]
+    )
+    return _layout(headers, body) + notes

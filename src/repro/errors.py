@@ -23,6 +23,38 @@ class DeadlockError(SimulationError):
     """The event queue drained while processes were still blocked."""
 
 
+class WatchdogTimeout(SimulationError):
+    """A simulation exceeded its event or wall-clock budget.
+
+    Carries enough context to diagnose the hang: the budget that fired,
+    the simulated time reached, and the roster of still-blocked
+    processes with what each was waiting on.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        events_processed: int = 0,
+        sim_time: float = 0.0,
+        blocked: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.events_processed = events_processed
+        self.sim_time = sim_time
+        self.blocked = blocked
+
+
+class FaultConfigError(ReproError, ValueError):
+    """A fault specification or profile is invalid."""
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deterministic injected fault fired (node failure, retransmit
+    exhaustion).  The resilient study runner catches these and records
+    the affected cell as degraded instead of crashing the sweep."""
+
+
 class HardwareConfigError(ReproError, ValueError):
     """An inconsistent or impossible hardware description was supplied."""
 

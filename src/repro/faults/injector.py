@@ -1,0 +1,197 @@
+"""The runtime fault injector: binds a plan to deterministic RNG streams.
+
+One :class:`FaultInjector` serves one study (or one hand-built sim).
+Every stochastic decision is drawn from a generator keyed by a string
+path under the ``"faults"`` namespace of the study's
+:class:`~repro.sim.random.RandomStreams`, so:
+
+* the measurement-noise streams are *never* touched — arming a plan
+  whose probabilities are all zero yields byte-identical results to
+  running with no injector at all;
+* within one path the draws are sequential, and the discrete-event
+  simulation is deterministic, so the same seed and plan reproduce the
+  same faults event-for-event.
+
+Hooks query the injector; the injector never reaches into the models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InjectedFault
+from ..sim.random import RandomStreams
+from .models import (
+    FaultPlan,
+    GpuFault,
+    LinkFault,
+    MessageDrop,
+    NodeFailure,
+    StragglerFault,
+)
+
+
+class FaultInjector:
+    """Deterministic oracle answering "does this fault fire here?"."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        streams: RandomStreams | int | None = None,
+        scope: str = "",
+    ) -> None:
+        self.plan = plan
+        if streams is None:
+            streams = RandomStreams()
+        elif isinstance(streams, int):
+            streams = RandomStreams(streams)
+        self.streams = streams
+        #: extra path component isolating e.g. one machine's draws
+        self.scope = scope
+        self._rngs: dict[tuple[str, ...], np.random.Generator] = {}
+
+    # ------------------------------------------------------------------
+    def _rng(self, *path: str) -> np.random.Generator:
+        key = ("faults", self.scope, *path)
+        if key not in self._rngs:
+            self._rngs[key] = self.streams.get(*key)
+        return self._rngs[key]
+
+    def scoped(self, scope: str) -> "FaultInjector":
+        """A sibling injector whose draws are independent of this one's."""
+        return FaultInjector(self.plan, self.streams, scope=scope)
+
+    @property
+    def active(self) -> bool:
+        return not self.plan.is_null()
+
+    # ------------------------------------------------------------------
+    # transport faults (mpisim hooks)
+    # ------------------------------------------------------------------
+    def drop_message(self, src: int, dst: int) -> bool:
+        """Is this transmission attempt on ``src -> dst`` lost?"""
+        specs = self.plan.of_kind(MessageDrop)
+        if not specs:
+            return False
+        p = max(s.probability for s in specs)
+        if p <= 0.0:
+            return False
+        return bool(self._rng("drop", f"{src}->{dst}").random() < p)
+
+    def straggler_delay(self, rank: int, base_overhead: float) -> float:
+        """Extra software overhead this rank pays right now, seconds.
+
+        A hit inflates the per-message overhead by ``slowdown - 1``
+        (the noise burst lands on top of the MPI software path).
+        """
+        specs = self.plan.of_kind(StragglerFault)
+        if not specs:
+            return 0.0
+        extra = 0.0
+        rng = None
+        for spec in specs:
+            if spec.probability <= 0.0:
+                continue
+            if rng is None:
+                rng = self._rng("straggler", f"rank{rank}")
+            if rng.random() < spec.probability:
+                extra += base_overhead * (spec.slowdown - 1.0)
+        return extra
+
+    # ------------------------------------------------------------------
+    # link faults (netsim hooks)
+    # ------------------------------------------------------------------
+    def link_windows(self, link_name: str) -> tuple[LinkFault, ...]:
+        """The deterministic degradation windows armed for one link."""
+        return self.plan.link_faults_for(link_name)
+
+    # ------------------------------------------------------------------
+    # device faults (gpurt hooks)
+    # ------------------------------------------------------------------
+    def kernel_duration_factor(self, device: int) -> float:
+        """Multiplier (>= 1) on this kernel execution's duration."""
+        factor = 1.0
+        rng = None
+        for spec in self.plan.of_kind(GpuFault):
+            if spec.probability <= 0.0:
+                continue
+            if rng is None:
+                rng = self._rng("gpu", f"dev{device}", "kernel")
+            if rng.random() < spec.probability:
+                factor *= spec.duration_factor
+        return factor
+
+    def memcpy_stall(self, device: int) -> float:
+        """Extra stall (seconds) on this DMA transfer."""
+        stall = 0.0
+        rng = None
+        for spec in self.plan.of_kind(GpuFault):
+            if spec.probability <= 0.0 or spec.memcpy_stall <= 0.0:
+                continue
+            if rng is None:
+                rng = self._rng("gpu", f"dev{device}", "memcpy")
+            if rng.random() < spec.probability:
+                stall += spec.memcpy_stall
+        return stall
+
+    # ------------------------------------------------------------------
+    # study-level faults (core hooks)
+    # ------------------------------------------------------------------
+    def check_cell(self, *label: str, attempt: int = 1) -> None:
+        """Raise :class:`InjectedFault` if a node failure kills this
+        benchmark-cell attempt.  Each attempt draws independently, so
+        bounded retries can genuinely recover."""
+        for spec in self.plan.of_kind(NodeFailure):
+            if spec.probability <= 0.0:
+                continue
+            if self._rng("nodefail", *label).random() < spec.probability:
+                raise InjectedFault(
+                    f"injected node failure during {'/'.join(label)} "
+                    f"(attempt {attempt})"
+                )
+
+    def perturb_samples(
+        self, samples: np.ndarray, *label: str, kind: str = "latency"
+    ) -> np.ndarray:
+        """Apply straggler bursts to a vector of per-execution samples.
+
+        ``kind`` decides the direction: latency-like samples are
+        multiplied by the slowdown, bandwidth-like samples divided.
+        Returns the input array untouched (same object) when nothing
+        fires, preserving byte-identity for null plans.
+        """
+        specs = [
+            s for s in self.plan.of_kind(StragglerFault) if s.probability > 0.0
+        ]
+        if not specs:
+            return samples
+        rng = self._rng("straggler-samples", *label)
+        out = samples
+        for spec in specs:
+            mask = rng.random(len(out)) < spec.probability
+            if not mask.any():
+                continue
+            if out is samples:
+                out = samples.copy()
+            if kind == "bandwidth":
+                out[mask] /= spec.slowdown
+            else:
+                out[mask] *= spec.slowdown
+        return out
+
+
+def make_injector(
+    plan: Optional[FaultPlan],
+    streams: RandomStreams | int | None = None,
+    scope: str = "",
+) -> Optional[FaultInjector]:
+    """Build an injector, or ``None`` for a missing/null plan.
+
+    Returning ``None`` for null plans is what guarantees the
+    ``--faults none`` path is *exactly* the pre-fault code path.
+    """
+    if plan is None or plan.is_null():
+        return None
+    return FaultInjector(plan, streams, scope=scope)

@@ -89,6 +89,7 @@ class DeviceRuntime:
         machine: Machine,
         env: Optional[Environment] = None,
         trace: TraceRecorder = NULL_TRACE,
+        injector=None,
     ) -> None:
         if not machine.node.has_gpus:
             raise GpuRuntimeError(f"{machine.name} has no accelerators")
@@ -98,6 +99,8 @@ class DeviceRuntime:
         self.env = env if env is not None else Environment()
         self.trace = trace
         self.calibration = machine.calibration.gpu_runtime
+        #: optional repro.faults.FaultInjector consulted per kernel/DMA
+        self.injector = injector
         self.devices = [Device(self, i) for i in range(machine.node.n_gpus)]
         # peer access state (cudaDeviceEnablePeerAccess): enabled by
         # default, as every benchmark in the study runs with it on;

@@ -40,7 +40,12 @@ class KernelCommand(Command):
     kernel: KernelSpec = field(default=None)  # type: ignore[assignment]
 
     def execute(self, device: "Device") -> Generator:
-        yield device.env.timeout(self.kernel.duration_on(device))
+        duration = self.kernel.duration_on(device)
+        injector = device.runtime.injector
+        if injector is not None:
+            # downclock / thermal-throttle fault: the kernel runs slower
+            duration *= injector.kernel_duration_factor(device.index)
+        yield device.env.timeout(duration)
         device.trace.record(
             device.env.now, "kernel", f"{self.kernel.name}.end", device=device.index
         )
@@ -55,7 +60,12 @@ class CopyCommand(Command):
         req = device.dma_engines.request()
         yield req
         try:
-            yield device.env.timeout(self.plan.duration(self.nbytes))
+            duration = self.plan.duration(self.nbytes)
+            injector = device.runtime.injector
+            if injector is not None:
+                # ECC-retry fault: the transfer stalls mid-flight
+                duration += injector.memcpy_stall(device.index)
+            yield device.env.timeout(duration)
         finally:
             device.dma_engines.release(req)
         device.trace.record(

@@ -9,6 +9,13 @@ Usage::
     python -m repro report          # the full markdown report
     python -m repro all             # everything
     python -m repro --runs 20 table6   # faster, fewer executions
+    python -m repro all --faults lossy   # under a fault-injection profile
+    python -m repro selfcheck --faults smoke   # fault-subsystem smoke test
+
+Under ``--faults <profile>`` individual benchmark cells may be killed by
+injected node failures; after bounded retries they are rendered as the
+``—†`` degraded marker with a footnote, and the process exits with
+status 3 (completed, but degraded) instead of 0.
 """
 
 from __future__ import annotations
@@ -40,8 +47,12 @@ from .compare import (
 TARGETS = (
     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
     "table8", "table9", "figure1", "figure2", "figure3",
-    "compare", "report", "sweeps", "internode", "artifacts", "check", "all",
+    "compare", "report", "sweeps", "internode", "artifacts", "check",
+    "selfcheck", "all",
 )
+
+#: exit status when the run completed but some cells degraded under faults
+EXIT_DEGRADED = 3
 
 
 def _print_table1() -> str:
@@ -134,7 +145,25 @@ def run_target(target: str, study: Study) -> str:
         from .selfcheck import render_selfcheck, run_selfcheck
 
         return render_selfcheck(run_selfcheck())
+    if target == "selfcheck":
+        return _run_selfcheck_target(study)
     raise ValueError(f"unknown target: {target}")
+
+
+def _run_selfcheck_target(study: Study) -> str:
+    """``selfcheck``: structural checks, plus the fault smoke suite
+    whenever a fault plan is armed (``--faults smoke`` in CI)."""
+    from .selfcheck import (
+        render_fault_smoke,
+        render_selfcheck,
+        run_fault_smoke,
+        run_selfcheck,
+    )
+
+    parts = [render_selfcheck(run_selfcheck())]
+    if study.config.faults is not None and not study.config.faults.is_null():
+        parts.append(render_fault_smoke(run_fault_smoke()))
+    return "\n".join(parts)
 
 
 def _print_sweeps() -> str:
@@ -218,16 +247,39 @@ def main(argv: list[str] | None = None) -> int:
              "instead of vectorising run-to-run jitter",
     )
     parser.add_argument(
+        "--faults", type=str, default="none", metavar="PROFILE",
+        help="fault-injection profile: none, noisy, lossy, chaos, smoke "
+             "(default: none — numerically identical to not passing it)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="extra attempts per benchmark cell before it degrades "
+             "(default: 2)",
+    )
+    parser.add_argument(
         "--output", type=str, default="",
         help="write the (last) target's output to this file as well",
     )
     args = parser.parse_args(argv)
 
-    study = Study(StudyConfig(runs=args.runs, seed=args.seed, exact=args.exact))
+    from ..errors import ReproError
+    from ..faults import get_profile
+
+    try:
+        plan = get_profile(args.faults)
+        study = Study(StudyConfig(
+            runs=args.runs, seed=args.seed, exact=args.exact,
+            faults=plan, max_retries=args.max_retries,
+        ))
+    except ReproError as exc:
+        parser.error(str(exc))
     targets = list(args.targets)
     if "all" in targets:
+        # "selfcheck" stays opt-in: "all" output is byte-compared across
+        # fault-free runs and must not grow new sections
         targets = [
-            t for t in TARGETS if t not in ("all", "report", "artifacts")
+            t for t in TARGETS
+            if t not in ("all", "report", "artifacts", "selfcheck")
         ] + ["report"]
 
     text = ""
@@ -249,6 +301,11 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
+    if study.injector is not None:
+        # the summary goes to stderr so stdout stays pure table text
+        print(study.resilience.summary(), file=sys.stderr)
+        if study.resilience.degraded_count:
+            return EXIT_DEGRADED
     return 0
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from ..analysis.format import layout_table
 from ..analysis.metrics import relative_error
+from ..core.resilience import Degraded
 from ..core.tables import Table4Row, Table5Row, Table6Row
 from .paper_values import PAPER_TABLE4, PAPER_TABLE5, PAPER_TABLE6
 
@@ -50,6 +51,8 @@ def compare_table4(rows: list[Table4Row]) -> list[ComparisonRow]:
             ("on-socket us", row.on_socket),
             ("on-node us", row.on_node),
         ):
+            if isinstance(stat, Degraded):
+                continue  # no number to compare against the paper
             key = metric.split()[0].replace("-", "_")
             out.append(
                 ComparisonRow("T4", row.machine, metric, ref[key][0], stat.mean)
@@ -61,18 +64,21 @@ def compare_table5(rows: list[Table5Row]) -> list[ComparisonRow]:
     out = []
     for row in rows:
         ref = PAPER_TABLE5[row.machine]
-        out.append(
-            ComparisonRow("T5", row.machine, "device GB/s",
-                          ref["device_bw"][0], row.device_bw.mean)
-        )
-        out.append(
-            ComparisonRow("T5", row.machine, "host-host us",
-                          ref["host"][0], row.host_to_host.mean)
-        )
-        for cls, stat in sorted(
-            row.device_to_device.items(), key=lambda kv: kv[0].value
-        ):
-            if cls in ref["d2d"]:
+        if not isinstance(row.device_bw, Degraded):
+            out.append(
+                ComparisonRow("T5", row.machine, "device GB/s",
+                              ref["device_bw"][0], row.device_bw.mean)
+            )
+        if not isinstance(row.host_to_host, Degraded):
+            out.append(
+                ComparisonRow("T5", row.machine, "host-host us",
+                              ref["host"][0], row.host_to_host.mean)
+            )
+        d2d = row.device_to_device
+        if isinstance(d2d, Degraded):
+            d2d = {}
+        for cls, stat in sorted(d2d.items(), key=lambda kv: kv[0].value):
+            if cls in ref["d2d"] and not isinstance(stat, Degraded):
                 out.append(
                     ComparisonRow("T5", row.machine, f"d2d[{cls.value}] us",
                                   ref["d2d"][cls][0], stat.mean)
@@ -90,13 +96,16 @@ def compare_table6(rows: list[Table6Row]) -> list[ComparisonRow]:
             ("hd-lat us", "hd_lat", row.hd_latency),
             ("hd-bw GB/s", "hd_bw", row.hd_bandwidth),
         ):
+            if isinstance(stat, Degraded):
+                continue
             out.append(
                 ComparisonRow("T6", row.machine, metric, ref[key][0], stat.mean)
             )
-        for cls, stat in sorted(
-            row.d2d_latency.items(), key=lambda kv: kv[0].value
-        ):
-            if cls in ref["d2d"]:
+        d2d = row.d2d_latency
+        if isinstance(d2d, Degraded):
+            d2d = {}
+        for cls, stat in sorted(d2d.items(), key=lambda kv: kv[0].value):
+            if cls in ref["d2d"] and not isinstance(stat, Degraded):
                 out.append(
                     ComparisonRow("T6", row.machine, f"d2d[{cls.value}] us",
                                   ref["d2d"][cls][0], stat.mean)

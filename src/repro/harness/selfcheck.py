@@ -144,3 +144,146 @@ def render_selfcheck(findings: list[Finding]) -> str:
             f"{len(ALL_CHECKS)} check families, no findings"
         )
     return "\n".join(str(f) for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# fault-injection smoke checks: ``python -m repro selfcheck --faults smoke``
+# ---------------------------------------------------------------------------
+
+def check_fault_null_plan() -> list[Finding]:
+    """The default plan must be inert: no injector is even built."""
+    from ..faults import get_profile, make_injector
+
+    out = []
+    plan = get_profile("none")
+    if not plan.is_null():
+        out.append(Finding("-", "faults", "'none' profile is not null"))
+    if make_injector(plan, 1234) is not None:
+        out.append(Finding("-", "faults",
+                           "null plan produced a live injector"))
+    if make_injector(None, 1234) is not None:
+        out.append(Finding("-", "faults",
+                           "absent plan produced a live injector"))
+    return out
+
+
+def check_fault_retransmit() -> list[Finding]:
+    """Message drops must inflate the ping-pong via retransmits."""
+    from ..benchmarks.osu.latency import measure_pingpong
+    from ..errors import InjectedFault
+    from ..faults import FaultInjector, FaultPlan, MessageDrop
+    from ..machines.registry import get_machine
+    from ..mpisim.placement import on_socket_pair
+    from ..mpisim.transport import BufferKind
+
+    machine = get_machine("sawtooth")
+    pair = on_socket_pair(machine)
+    clean = measure_pingpong(machine, pair, 0, BufferKind.HOST)
+    injector = FaultInjector(
+        FaultPlan("smoke", (MessageDrop(probability=0.75),)), 99
+    )
+    try:
+        faulty = measure_pingpong(
+            machine, pair, 0, BufferKind.HOST,
+            injector=injector, max_events=500_000,
+        )
+    except InjectedFault:
+        # retransmit budget exhausted: the drop machinery clearly engaged
+        return []
+    if faulty <= clean:
+        return [Finding(machine.name, "faults",
+                        f"75% message drop did not slow the ping-pong "
+                        f"({faulty:g} <= {clean:g})")]
+    return []
+
+
+def check_fault_link_window() -> list[Finding]:
+    """A degradation window must throttle a link while it is open."""
+    from ..faults import LinkFault
+    from ..netsim.links import NetworkLink
+
+    out = []
+    link = NetworkLink(name="smoke-link", bandwidth=1e9, latency=1e-6)
+    link.add_fault(
+        LinkFault(start=1.0, duration=2.0, bandwidth_factor=0.25,
+                  extra_latency=5e-6)
+    )
+    if link.effective_bandwidth(2.0) != 0.25e9:
+        out.append(Finding("-", "faults", "bandwidth window not applied"))
+    if link.effective_latency(2.0) != 1e-6 + 5e-6:
+        out.append(Finding("-", "faults", "latency window not applied"))
+    if link.effective_bandwidth(5.0) != 1e9:
+        out.append(Finding("-", "faults",
+                           "degradation leaked past the window"))
+    down = NetworkLink(name="smoke-down", bandwidth=1e9, latency=1e-6)
+    down.add_fault(LinkFault(start=0.0, duration=3.0, down=True))
+    if not down.is_down(1.0) or down.up_at(1.0) != 3.0:
+        out.append(Finding("-", "faults", "down window not honoured"))
+    return out
+
+
+def check_fault_kernel_inflation() -> list[Finding]:
+    """A certain GPU fault must inflate kernel durations and stall copies."""
+    from ..faults import FaultInjector, FaultPlan, GpuFault
+
+    injector = FaultInjector(
+        FaultPlan(
+            "smoke",
+            (GpuFault(probability=1.0, duration_factor=2.0,
+                      memcpy_stall=3e-6),),
+        ),
+        7,
+    )
+    out = []
+    if injector.kernel_duration_factor(0) != 2.0:
+        out.append(Finding("-", "faults", "kernel inflation did not fire"))
+    if injector.memcpy_stall(0) != 3e-6:
+        out.append(Finding("-", "faults", "memcpy stall did not fire"))
+    return out
+
+
+def check_fault_watchdog() -> list[Finding]:
+    """The event-budget watchdog must fire and name blocked processes."""
+    from ..errors import WatchdogTimeout
+    from ..sim.engine import Environment
+
+    def spinner(env: Environment):
+        while True:
+            yield env.timeout(1.0)
+
+    env = Environment()
+    env.process(spinner(env), name="spinner")
+    try:
+        env.run(max_events=50)
+    except WatchdogTimeout as exc:
+        if "spinner" not in str(exc):
+            return [Finding("-", "faults",
+                            "watchdog roster missing the blocked process")]
+        return []
+    return [Finding("-", "faults", "watchdog did not fire at 50 events")]
+
+
+FAULT_CHECKS = (
+    check_fault_null_plan,
+    check_fault_retransmit,
+    check_fault_link_window,
+    check_fault_kernel_inflation,
+    check_fault_watchdog,
+)
+
+
+def run_fault_smoke() -> list[Finding]:
+    """Exercise the fault subsystem end to end; empty list = healthy."""
+    findings: list[Finding] = []
+    for check in FAULT_CHECKS:
+        findings.extend(check())
+    return findings
+
+
+def render_fault_smoke(findings: list[Finding]) -> str:
+    if not findings:
+        return (
+            f"fault smoke passed: {len(FAULT_CHECKS)} check families "
+            f"(null plan, retransmit, link windows, GPU faults, watchdog)"
+        )
+    return "\n".join(str(f) for f in findings)

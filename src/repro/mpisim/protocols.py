@@ -26,3 +26,13 @@ OSU_SMALL_ITERATIONS = 1000
 OSU_LARGE_ITERATIONS = 100
 OSU_SMALL_WARMUP = 200
 OSU_LARGE_WARMUP = 10
+
+# -- reliability (fault-injection retransmit machinery) ---------------------
+#: Retransmission timeout for a dropped transmission attempt, seconds.
+#: Of the order of a few round trips on the shared-memory path — real
+#: stacks use link-level retry far faster than TCP-style RTOs.
+RETRANSMIT_TIMEOUT = 10e-6
+#: Exponential-backoff multiplier applied per successive retry.
+RETRANSMIT_BACKOFF = 2.0
+#: Attempts before the send gives up and surfaces an InjectedFault.
+MAX_RETRANSMITS = 16

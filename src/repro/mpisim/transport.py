@@ -67,6 +67,29 @@ class PathCost:
     def zero_byte(self) -> float:
         return self.o_send + self.wire + self.link_latency() + self.o_recv
 
+    def degraded(
+        self, bandwidth_factor: float = 1.0, extra_latency: float = 0.0
+    ) -> "PathCost":
+        """This path under a link-degradation fault window.
+
+        ``bandwidth_factor`` scales the sustained bandwidth down and
+        ``extra_latency`` is added to the wire term — the intra-node
+        analogue of :class:`repro.faults.LinkFault` on fabric links.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise MpiSimError(
+                f"bandwidth_factor must be in (0, 1]: {bandwidth_factor}"
+            )
+        if extra_latency < 0:
+            raise MpiSimError(f"negative extra latency: {extra_latency}")
+        return PathCost(
+            o_send=self.o_send,
+            o_recv=self.o_recv,
+            wire=self.wire + extra_latency,
+            bandwidth=self.bandwidth * bandwidth_factor,
+            shared_links=self.shared_links,
+        )
+
 
 class Transport:
     """Per-machine transport selection and cost computation."""

@@ -22,12 +22,17 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
-from ..errors import MpiSimError
+from ..errors import InjectedFault, MpiSimError
 from ..machines.base import Machine
 from ..sim.engine import Environment
 from ..sim.trace import NULL_TRACE, TraceRecorder
 from .placement import RankLocation
-from .protocols import EAGER_THRESHOLD
+from .protocols import (
+    EAGER_THRESHOLD,
+    MAX_RETRANSMITS,
+    RETRANSMIT_BACKOFF,
+    RETRANSMIT_TIMEOUT,
+)
 from .transport import BufferKind, Transport
 
 
@@ -115,6 +120,38 @@ class RankContext:
     def location(self) -> RankLocation:
         return self.world.placement[self.rank]
 
+    # -- fault hooks ---------------------------------------------------------
+    def _overhead(self, base: float) -> float:
+        """Per-side software overhead, plus any injected OS-noise burst."""
+        injector = self.world.injector
+        if injector is None:
+            return base
+        return base + injector.straggler_delay(self.rank, base)
+
+    def _transmit(self, dst: int) -> Generator:
+        """Model per-attempt message loss on the wire to ``dst``.
+
+        Each dropped attempt costs one retransmission timeout with
+        exponential backoff before the sender tries again; after
+        :data:`~repro.mpisim.protocols.MAX_RETRANSMITS` consecutive
+        losses the send surfaces an :class:`InjectedFault` (the MPI
+        library would abort the job at that point).
+        """
+        injector = self.world.injector
+        if injector is None:
+            return
+        attempt = 0
+        while injector.drop_message(self.rank, dst):
+            attempt += 1
+            if attempt > MAX_RETRANSMITS:
+                raise InjectedFault(
+                    f"rank {self.rank} -> {dst}: {MAX_RETRANSMITS} "
+                    "consecutive transmission attempts dropped"
+                )
+            yield self.env.timeout(
+                RETRANSMIT_TIMEOUT * RETRANSMIT_BACKOFF ** (attempt - 1)
+            )
+
     # -- point-to-point -----------------------------------------------------
     def send(
         self,
@@ -131,7 +168,8 @@ class RankContext:
         cost = world.path(self.rank, dst, buffer)
         seq = world._next_seq()
         if nbytes <= world.eager_threshold:
-            yield self.env.timeout(cost.o_send)
+            yield self.env.timeout(self._overhead(cost.o_send))
+            yield from self._transmit(dst)
             arrival = world._reserve_wire(self.rank, dst, nbytes, cost)
             world._mailbox(self.rank, dst).put(
                 Message(_MsgKind.EAGER, self.rank, dst, nbytes, arrival,
@@ -139,7 +177,7 @@ class RankContext:
             )
             return
         # rendezvous
-        yield self.env.timeout(cost.o_send)
+        yield self.env.timeout(self._overhead(cost.o_send))
         world._mailbox(self.rank, dst).put(
             Message(_MsgKind.RTS, self.rank, dst, nbytes,
                     self.env.now + cost.wire, buffer, None, tag, seq)
@@ -151,6 +189,7 @@ class RankContext:
             raise MpiSimError(f"rank {self.rank}: expected CTS, got {cts.kind}")
         if cts.arrival > self.env.now:
             yield self.env.timeout(cts.arrival - self.env.now)
+        yield from self._transmit(dst)
         arrival = world._reserve_wire(self.rank, dst, nbytes, cost)
         world._data(self.rank, dst).put(
             Message(_MsgKind.DATA, self.rank, dst, nbytes, arrival,
@@ -177,7 +216,7 @@ class RankContext:
         if msg.kind == _MsgKind.EAGER:
             if msg.arrival > self.env.now:
                 yield self.env.timeout(msg.arrival - self.env.now)
-            yield self.env.timeout(cost.o_recv)
+            yield self.env.timeout(self._overhead(cost.o_recv))
             return msg
         if msg.kind != _MsgKind.RTS:
             raise MpiSimError(f"rank {self.rank}: expected EAGER/RTS, got {msg.kind}")
@@ -198,7 +237,7 @@ class RankContext:
             raise MpiSimError(f"rank {self.rank}: expected DATA, got {data.kind}")
         if data.arrival > self.env.now:
             yield self.env.timeout(data.arrival - self.env.now)
-        yield self.env.timeout(cost.o_recv)
+        yield self.env.timeout(self._overhead(cost.o_recv))
         return data
 
     # -- preposted receives --------------------------------------------------
@@ -252,6 +291,8 @@ class MpiWorld:
         trace: TraceRecorder = NULL_TRACE,
         eager_threshold: int = EAGER_THRESHOLD,
         transport=None,
+        injector=None,
+        max_events: Optional[int] = None,
     ) -> None:
         if len(placement) < 2:
             raise MpiSimError("an MPI world needs at least two ranks")
@@ -268,6 +309,10 @@ class MpiWorld:
         self.trace = trace
         self.transport = transport if transport is not None else Transport(machine)
         self.eager_threshold = eager_threshold
+        #: optional repro.faults.FaultInjector; None = perfectly clean wire
+        self.injector = injector
+        #: optional event budget for run(); None = unbounded
+        self.max_events = max_events
         self._mailboxes: dict[tuple[int, int], MatchQueue] = {}
         self._controls: dict[tuple[int, int], MatchQueue] = {}
         self._datas: dict[tuple[int, int], MatchQueue] = {}
@@ -355,5 +400,5 @@ class MpiWorld:
             for rank, fn in enumerate(rank_fns)
         ]
         done = self.env.all_of(procs)
-        self.env.run(until=done)
+        self.env.run(until=done, max_events=self.max_events)
         return [p.value for p in procs]

@@ -55,6 +55,36 @@ class FabricSpec:
             + hops * (self.hop_latency + self.wire_latency)
         )
 
+    def degraded(
+        self, bandwidth_factor: float = 1.0, extra_latency: float = 0.0
+    ) -> "FabricSpec":
+        """This fabric under a whole-network degradation fault.
+
+        Scales injection and per-link bandwidth by ``bandwidth_factor``
+        and adds ``extra_latency`` to every wire traversal — the
+        fabric-wide analogue of a per-link
+        :class:`repro.faults.LinkFault` window, used to build clusters
+        that are sick for an entire experiment.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise HardwareConfigError(
+                f"{self.name}: bandwidth_factor must be in (0, 1]: "
+                f"{bandwidth_factor}"
+            )
+        if extra_latency < 0:
+            raise HardwareConfigError(
+                f"{self.name}: negative extra latency: {extra_latency}"
+            )
+        return FabricSpec(
+            name=f"{self.name} (degraded)",
+            injection_bandwidth=self.injection_bandwidth * bandwidth_factor,
+            link_bandwidth=self.link_bandwidth * bandwidth_factor,
+            nic_overhead=self.nic_overhead,
+            hop_latency=self.hop_latency,
+            wire_latency=self.wire_latency + extra_latency,
+            efficiency=self.efficiency,
+        )
+
 
 SLINGSHOT_11 = FabricSpec(
     name="Slingshot-11",

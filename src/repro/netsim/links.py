@@ -15,7 +15,14 @@ from ..errors import SimulationError
 
 @dataclass
 class NetworkLink:
-    """One direction of one physical link."""
+    """One direction of one physical link.
+
+    ``faults`` holds time-windowed degradations (any objects exposing
+    ``start``/``end``/``bandwidth_factor``/``extra_latency``/``down`` —
+    in practice :class:`repro.faults.LinkFault` instances).  While the
+    clock is inside a window the link runs slower, adds latency, or —
+    for ``down`` windows — carries nothing until the window closes.
+    """
 
     name: str
     bandwidth: float              # bytes/second
@@ -23,6 +30,7 @@ class NetworkLink:
     busy_until: float = 0.0
     bytes_carried: int = 0
     transfers: int = 0
+    faults: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -30,20 +38,67 @@ class NetworkLink:
         if self.latency < 0:
             raise SimulationError(f"{self.name}: negative latency")
 
+    # -- fault windows ------------------------------------------------------
+    def add_fault(self, window) -> None:
+        """Arm one degradation window on this link."""
+        for attr in ("start", "end", "bandwidth_factor", "extra_latency", "down"):
+            if not hasattr(window, attr):
+                raise SimulationError(
+                    f"{self.name}: fault window lacks {attr!r}: {window!r}"
+                )
+        self.faults.append(window)
+
+    def _windows_at(self, now: float):
+        return [w for w in self.faults if w.start <= now < w.end]
+
+    def is_down(self, now: float) -> bool:
+        return any(w.down for w in self._windows_at(now))
+
+    def up_at(self, now: float) -> float:
+        """Earliest time >= ``now`` at which the link is not down."""
+        t = now
+        # windows may abut or overlap; iterate until no down window covers t
+        for _ in range(len(self.faults) + 1):
+            covering = [w for w in self._windows_at(t) if w.down]
+            if not covering:
+                return t
+            t = max(w.end for w in covering)
+        return t
+
+    def effective_bandwidth(self, now: float) -> float:
+        factor = 1.0
+        for w in self._windows_at(now):
+            factor *= w.bandwidth_factor
+        return self.bandwidth * factor
+
+    def effective_latency(self, now: float) -> float:
+        extra = sum(w.extra_latency for w in self._windows_at(now))
+        return self.latency + extra
+
+    def _begin(self, earliest: float) -> float:
+        """When a transfer arriving at ``earliest`` actually starts:
+        after the queue drains (FIFO) and any down window closes."""
+        start = max(earliest, self.busy_until)
+        if self.faults:
+            start = self.up_at(start)
+        return start
+
+    # -- reservation --------------------------------------------------------
     def reserve(self, now: float, nbytes: int) -> float:
         """Serialise ``nbytes`` onto the link; return the finish time.
 
         The transfer begins when the link frees up (FIFO) and occupies
         it for ``nbytes / bandwidth``; the returned time includes the
-        link's propagation latency.
+        link's propagation latency.  Down windows defer the start;
+        degradation windows stretch the serialisation.
         """
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
-        start = max(now, self.busy_until)
-        self.busy_until = start + nbytes / self.bandwidth
+        start = self._begin(now)
+        self.busy_until = start + nbytes / self.effective_bandwidth(start)
         self.bytes_carried += nbytes
         self.transfers += 1
-        return self.busy_until + self.latency
+        return self.busy_until + self.effective_latency(start)
 
     def utilisation_until(self, horizon: float) -> float:
         """Fraction of [0, horizon] the link spent busy (approximate)."""
@@ -55,6 +110,7 @@ class NetworkLink:
         self.busy_until = 0.0
         self.bytes_carried = 0
         self.transfers = 0
+        self.faults = []
 
 
 def reserve_path(links: list["NetworkLink"], now: float, nbytes: int) -> float:
@@ -74,14 +130,15 @@ def reserve_path(links: list["NetworkLink"], now: float, nbytes: int) -> float:
     for link in links:
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
-        start = max(header, link.busy_until)
-        link.busy_until = start + nbytes / link.bandwidth
+        start = link._begin(header)
+        link.busy_until = start + nbytes / link.effective_bandwidth(start)
         link.bytes_carried += nbytes
         link.transfers += 1
-        header = start + link.latency
+        latency = link.effective_latency(start)
+        header = start + latency
         # delivery cannot precede the drain of ANY link on the path
         # (a slow middle link governs even if later links are fast)
-        finish = max(finish, link.busy_until + link.latency)
+        finish = max(finish, link.busy_until + latency)
     return max(header, finish)
 
 
@@ -111,7 +168,13 @@ class AdaptiveRoute:
             # tie-break toward shorter paths (minimal first in the list)
             return (wait, len(path))
 
-        return min(self.candidates, key=readiness)
+        # link-down routing: never pick a path through a dead link while
+        # a live alternative exists (dragonfly reroute-on-failure)
+        alive = [
+            path for path in self.candidates
+            if not any(l.is_down(now) for l in path)
+        ]
+        return min(alive or self.candidates, key=readiness)
 
 
 @dataclass
@@ -134,6 +197,18 @@ class LinkTable:
 
     def along(self, path: list[str]) -> list[NetworkLink]:
         return [self.get(a, b) for a, b in zip(path, path[1:])]
+
+    def arm_faults(self, windows) -> int:
+        """Attach fault windows to every link they match; returns the
+        number of (link, window) pairs armed."""
+        armed = 0
+        for link in self.links.values():
+            for window in windows:
+                matches = getattr(window, "matches", None)
+                if matches is None or matches(link.name):
+                    link.add_fault(window)
+                    armed += 1
+        return armed
 
     def reset(self) -> None:
         for link in self.links.values():

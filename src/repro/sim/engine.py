@@ -14,9 +14,10 @@ everything the hardware models need: timeouts, processes as events
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, SimulationError, WatchdogTimeout
 
 #: Priority used for ordinary events.
 NORMAL = 1
@@ -141,11 +142,23 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        env._processes[self] = None
         Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
         return self.callbacks is not None
+
+    def waiting_on(self) -> str:
+        """Human-readable description of what this process is blocked on."""
+        target = self._target
+        if target is None:
+            return "nothing (starting or being resumed)"
+        if isinstance(target, Timeout):
+            return f"Timeout(+{target.delay:g}s)"
+        if isinstance(target, Process):
+            return f"Process({target.name})"
+        return type(target).__name__
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -178,6 +191,7 @@ class Process(Event):
                     target = self._generator.throw(exc)
             except StopIteration as stop:
                 self.env._active_process = None
+                self.env._processes.pop(self, None)
                 self._target = None
                 self._value = stop.value
                 self._ok = True
@@ -186,6 +200,7 @@ class Process(Event):
             except Interrupt as exc:
                 # Interrupt escaped the coroutine: terminate it with failure.
                 self.env._active_process = None
+                self.env._processes.pop(self, None)
                 self._target = None
                 self._value = exc
                 self._ok = False
@@ -193,6 +208,7 @@ class Process(Event):
                 return
             except BaseException as exc:
                 self.env._active_process = None
+                self.env._processes.pop(self, None)
                 self._target = None
                 self._value = exc
                 self._ok = False
@@ -201,6 +217,7 @@ class Process(Event):
 
             if not isinstance(target, Event):
                 self.env._active_process = None
+                self.env._processes.pop(self, None)
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {target!r}"
                 )
@@ -281,6 +298,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: insertion-ordered registry of processes whose coroutine has
+        #: not finished; used by deadlock/watchdog diagnostics
+        self._processes: dict[Process, None] = {}
 
     # -- clock -------------------------------------------------------------
     @property
@@ -318,10 +338,30 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    # -- diagnostics --------------------------------------------------------
+    def blocked_processes(self) -> list[Process]:
+        """Live processes whose coroutine has not finished."""
+        return list(self._processes)
+
+    def blocked_report(self) -> tuple[str, ...]:
+        """One ``"name: waiting on X"`` line per still-blocked process."""
+        return tuple(
+            f"{p.name}: waiting on {p.waiting_on()}"
+            for p in self._processes
+        )
+
+    def _deadlock(self, summary: str) -> DeadlockError:
+        report = self.blocked_report()
+        detail = (
+            "; blocked processes: " + ", ".join(report)
+            if report else "; no processes blocked"
+        )
+        return DeadlockError(f"{summary} (t={self._now:g}){detail}")
+
     def step(self) -> None:
         """Process exactly one event."""
         if not self._queue:
-            raise DeadlockError("event queue empty")
+            raise self._deadlock("event queue empty")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now:
             raise SimulationError("time went backwards")
@@ -333,17 +373,50 @@ class Environment:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
 
-    def run(self, until: "Event | float | None" = None) -> Any:
+    def run(
+        self,
+        until: "Event | float | None" = None,
+        max_events: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+    ) -> Any:
         """Run until an event triggers, a time is reached, or the queue drains.
 
         * ``until`` is an :class:`Event`: run until it is processed and
           return its value (re-raising on failure).
         * ``until`` is a number: run until the clock reaches it.
         * ``until`` is None: run until no events remain.
+
+        ``max_events`` / ``max_wall_seconds`` arm a watchdog: when the
+        run exceeds either budget, :class:`WatchdogTimeout` is raised
+        with the roster of still-blocked processes — a runaway or
+        livelocked simulation becomes a diagnosable error instead of a
+        hang.
         """
+        if max_events is not None and max_events < 1:
+            raise SimulationError(f"max_events must be >= 1: {max_events}")
+        deadline = (
+            time.monotonic() + max_wall_seconds
+            if max_wall_seconds is not None else None
+        )
+        processed = 0
+
+        def guarded_step() -> None:
+            nonlocal processed
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise self._watchdog(f"event budget of {max_events} exceeded",
+                                     processed - 1)
+            if (deadline is not None and processed % 512 == 0
+                    and time.monotonic() > deadline):
+                raise self._watchdog(
+                    f"wall-clock budget of {max_wall_seconds}s exceeded",
+                    processed - 1,
+                )
+            self.step()
+
         if until is None:
             while self._queue:
-                self.step()
+                guarded_step()
             return None
         if isinstance(until, Event):
             sentinel: list[Any] = []
@@ -357,10 +430,10 @@ class Environment:
                 until.callbacks.append(_done)
             while not sentinel:
                 if not self._queue:
-                    raise DeadlockError(
+                    raise self._deadlock(
                         "event queue drained before the awaited event triggered"
                     )
-                self.step()
+                guarded_step()
             if not until._ok:
                 exc = until._value
                 until._defused = True
@@ -371,6 +444,17 @@ class Environment:
         if horizon < self._now:
             raise SimulationError(f"horizon {horizon} is in the past (now={self._now})")
         while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+            guarded_step()
         self._now = horizon
         return None
+
+    def _watchdog(self, summary: str, processed: int) -> WatchdogTimeout:
+        blocked = self.blocked_report()
+        roster = "; ".join(blocked) if blocked else "no processes blocked"
+        return WatchdogTimeout(
+            f"simulation watchdog: {summary} after {processed} events "
+            f"(t={self._now:g}); blocked processes: {roster}",
+            events_processed=processed,
+            sim_time=self._now,
+            blocked=blocked,
+        )

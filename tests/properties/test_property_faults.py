@@ -1,0 +1,92 @@
+"""Property tests for fault-injection determinism and null-plan identity.
+
+Two pillars of the fault subsystem (see DESIGN.md):
+
+* same seed + same plan => identical faults, event for event;
+* a plan that can never fire (all probabilities zero, no windows) is
+  *byte-identical* to running with no plan at all.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.study import Study, StudyConfig
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    MessageDrop,
+    NodeFailure,
+    StragglerFault,
+    make_injector,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+probabilities = st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(seed=seeds, p=probabilities)
+@settings(max_examples=25, deadline=None)
+def test_drop_draws_reproducible(seed, p):
+    plan = FaultPlan("p", (MessageDrop(p),))
+    a = FaultInjector(plan, seed)
+    b = FaultInjector(plan, seed)
+    assert [a.drop_message(0, 1) for _ in range(32)] == \
+           [b.drop_message(0, 1) for _ in range(32)]
+
+
+@given(seed=seeds, p=st.floats(min_value=0.01, max_value=1.0))
+@settings(max_examples=25, deadline=None)
+def test_perturbed_samples_reproducible(seed, p):
+    plan = FaultPlan("p", (StragglerFault(probability=p, slowdown=2.0),))
+    samples = np.linspace(1.0, 2.0, 64)
+    out_a = FaultInjector(plan, seed).perturb_samples(samples.copy(), "m", "osu")
+    out_b = FaultInjector(plan, seed).perturb_samples(samples.copy(), "m", "osu")
+    assert np.array_equal(out_a, out_b)
+
+
+@given(seed=seeds)
+@settings(max_examples=10, deadline=None)
+def test_zero_probability_plan_never_builds_injector(seed):
+    plan = FaultPlan(
+        "zero",
+        (MessageDrop(0.0), StragglerFault(0.0), NodeFailure(0.0)),
+    )
+    assert plan.is_null()
+    assert make_injector(plan, seed) is None
+
+
+@given(runs=st.integers(min_value=1, max_value=5), seed=seeds)
+@settings(max_examples=5, deadline=None)
+def test_zero_probability_study_byte_identical(runs, seed, sawtooth):
+    """A zero-probability plan must not shift a single sample."""
+    from repro.benchmarks.osu.runner import PairKind
+
+    zero_plan = FaultPlan(
+        "zero", (MessageDrop(0.0), StragglerFault(0.0), NodeFailure(0.0))
+    )
+    clean = Study(StudyConfig(runs=runs, seed=seed))
+    armed = Study(StudyConfig(runs=runs, seed=seed, faults=zero_plan))
+    a = clean.host_latency(sawtooth, PairKind.ON_SOCKET)
+    b = armed.host_latency(sawtooth, PairKind.ON_SOCKET)
+    assert a.mean == b.mean and a.std == b.std
+
+
+@given(seed=seeds)
+@settings(max_examples=5, deadline=None)
+def test_armed_study_reproducible(seed, sawtooth):
+    """Same seed + same live plan => identical statistics."""
+    from repro.benchmarks.osu.runner import PairKind
+
+    plan = FaultPlan(
+        "live",
+        (StragglerFault(probability=0.3, slowdown=2.0), NodeFailure(0.05)),
+    )
+
+    def run():
+        study = Study(StudyConfig(runs=4, seed=seed, faults=plan))
+        cell = study.host_latency(sawtooth, PairKind.ON_SOCKET)
+        return cell.format()
+
+    assert run() == run()

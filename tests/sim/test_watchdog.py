@@ -1,0 +1,108 @@
+"""Environment watchdog budgets and diagnosable deadlock reports."""
+
+import pytest
+
+from repro.errors import DeadlockError, WatchdogTimeout
+from repro.sim.engine import Environment
+
+
+def spinner(env):
+    while True:
+        yield env.timeout(1.0)
+
+
+class TestWatchdog:
+    def test_event_budget_fires(self):
+        env = Environment()
+        env.process(spinner(env), name="spinner")
+        with pytest.raises(WatchdogTimeout) as exc:
+            env.run(max_events=50)
+        assert exc.value.events_processed >= 50
+        assert exc.value.sim_time == env.now
+
+    def test_roster_names_blocked_processes(self):
+        env = Environment()
+        env.process(spinner(env), name="busy-loop")
+        with pytest.raises(WatchdogTimeout) as exc:
+            env.run(max_events=10)
+        assert any("busy-loop" in line for line in exc.value.blocked)
+        assert "busy-loop" in str(exc.value)
+        assert "Timeout" in str(exc.value)  # waiting-on description
+
+    def test_budget_not_hit_runs_to_completion(self):
+        env = Environment()
+
+        def finite(env):
+            for _ in range(5):
+                yield env.timeout(1.0)
+
+        env.process(finite(env), name="finite")
+        env.run(max_events=1_000)  # plenty: must not raise
+        assert env.now == 5.0
+
+    def test_wall_clock_budget(self):
+        env = Environment()
+        env.process(spinner(env), name="spinner")
+        with pytest.raises(WatchdogTimeout):
+            env.run(max_wall_seconds=0.0)
+
+    def test_watchdog_is_not_a_deadlock(self):
+        env = Environment()
+        env.process(spinner(env), name="spinner")
+        with pytest.raises(WatchdogTimeout):
+            env.run(max_events=10)
+        # WatchdogTimeout and DeadlockError stay distinct diagnostics
+        assert not issubclass(WatchdogTimeout, DeadlockError)
+
+
+class TestDeadlockDiagnostics:
+    def test_deadlock_names_blocked_processes(self):
+        env = Environment()
+
+        def waiter(env, event):
+            yield event
+
+        forever = env.event()  # never triggered
+        proc = env.process(waiter(env, forever), name="stuck-recv")
+        with pytest.raises(DeadlockError) as exc:
+            env.run(until=proc)
+        assert "stuck-recv" in str(exc.value)
+
+    def test_deadlock_reports_wait_states(self):
+        env = Environment()
+
+        def waiter(env, ev):
+            yield ev
+
+        ev = env.event()
+        p0 = env.process(waiter(env, ev), name="rank0")
+        env.process(waiter(env, ev), name="rank1")
+        with pytest.raises(DeadlockError) as exc:
+            env.run(until=p0)
+        message = str(exc.value)
+        assert "rank0" in message and "rank1" in message
+        assert "waiting on" in message
+
+    def test_completed_processes_leave_the_roster(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        def stuck(env, ev):
+            yield ev
+
+        env.process(quick(env), name="quick")
+        target = env.process(stuck(env, env.event()), name="stuck")
+        with pytest.raises(DeadlockError) as exc:
+            env.run(until=target)
+        message = str(exc.value)
+        assert "stuck" in message
+        assert "quick" not in message  # finished cleanly, not blocked
+
+    def test_blocked_report_api(self):
+        env = Environment()
+        env.process(spinner(env), name="s")
+        env.step()  # give the process a target to wait on
+        report = env.blocked_report()
+        assert any("s" in line for line in report)
