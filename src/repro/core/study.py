@@ -38,6 +38,7 @@ from ..errors import BenchmarkConfigError
 from ..faults import FaultPlan, make_injector
 from ..hardware.topology import LinkClass
 from ..machines.base import Machine
+from ..obs import runtime as obs
 from ..sim.random import (
     NOISE_BANDWIDTH,
     NOISE_CPU_BANDWIDTH,
@@ -46,7 +47,7 @@ from ..sim.random import (
     NoiseModel,
     RandomStreams,
 )
-from .resilience import Degraded, ResilienceLog, run_cell
+from .resilience import Degraded, ResilienceLog, degraded_in, run_cell
 from .results import Statistic
 
 
@@ -161,14 +162,35 @@ class Study:
         return samples
 
     def _cell(self, fn, *label: str):
-        """Run one benchmark cell resiliently (bounded retries, degrade)."""
-        return run_cell(
-            fn,
-            label=label,
-            injector=self.injector,
-            max_retries=self.config.max_retries,
-            log=self.resilience,
-        )
+        """Run one benchmark cell resiliently (bounded retries, degrade).
+
+        With observability active the cell runs inside a ``study`` span
+        carrying the cell label and outcome (degraded, attempts), and
+        bumps the ``study.cell.*`` counters; with the null context this
+        is a shared no-op span.
+        """
+        ctx = obs.current()
+        with ctx.tracer.span("/".join(label), "study") as span:
+            result = run_cell(
+                fn,
+                label=label,
+                injector=self.injector,
+                max_retries=self.config.max_retries,
+                log=self.resilience,
+            )
+            if ctx.enabled:
+                lost = degraded_in(result)
+                if lost:
+                    span.set(
+                        degraded=True,
+                        attempts=max(d.attempts for d in lost),
+                        reason="; ".join(d.reason for d in lost),
+                    )
+                    ctx.metrics.counter("study.cell.degraded").inc()
+                else:
+                    span.set(degraded=False)
+                ctx.metrics.counter("study.cell.completed").inc()
+        return result
 
     # ------------------------------------------------------------------
     # BabelStream

@@ -93,3 +93,12 @@ class MpiSimError(ReproError, RuntimeError):
 
 class BenchmarkConfigError(ReproError, ValueError):
     """A benchmark was configured with invalid parameters."""
+
+
+class ObservabilityError(RuntimeError):
+    """Misuse of the observability layer (span exit-order violation,
+    instrument type conflict, bad instrument name).
+
+    Deliberately *not* a :class:`ReproError`: these are programming
+    bugs in instrumentation, and the resilient study runner must never
+    swallow one into a degraded table cell."""

@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import InjectedFault
+from ..obs import runtime as obs
 from ..sim.random import RandomStreams
 from .models import (
     FaultPlan,
@@ -78,7 +79,10 @@ class FaultInjector:
         p = max(s.probability for s in specs)
         if p <= 0.0:
             return False
-        return bool(self._rng("drop", f"{src}->{dst}").random() < p)
+        dropped = bool(self._rng("drop", f"{src}->{dst}").random() < p)
+        if dropped:
+            obs.count("faults.injected.drop")
+        return dropped
 
     def straggler_delay(self, rank: int, base_overhead: float) -> float:
         """Extra software overhead this rank pays right now, seconds.
@@ -97,6 +101,7 @@ class FaultInjector:
             if rng is None:
                 rng = self._rng("straggler", f"rank{rank}")
             if rng.random() < spec.probability:
+                obs.count("faults.injected.straggler")
                 extra += base_overhead * (spec.slowdown - 1.0)
         return extra
 
@@ -120,6 +125,7 @@ class FaultInjector:
             if rng is None:
                 rng = self._rng("gpu", f"dev{device}", "kernel")
             if rng.random() < spec.probability:
+                obs.count("faults.injected.gpu_kernel")
                 factor *= spec.duration_factor
         return factor
 
@@ -133,6 +139,7 @@ class FaultInjector:
             if rng is None:
                 rng = self._rng("gpu", f"dev{device}", "memcpy")
             if rng.random() < spec.probability:
+                obs.count("faults.injected.gpu_memcpy")
                 stall += spec.memcpy_stall
         return stall
 
@@ -147,6 +154,7 @@ class FaultInjector:
             if spec.probability <= 0.0:
                 continue
             if self._rng("nodefail", *label).random() < spec.probability:
+                obs.count("faults.injected.nodefail")
                 raise InjectedFault(
                     f"injected node failure during {'/'.join(label)} "
                     f"(attempt {attempt})"
@@ -173,6 +181,7 @@ class FaultInjector:
             mask = rng.random(len(out)) < spec.probability
             if not mask.any():
                 continue
+            obs.count("faults.injected.sample_bursts", int(mask.sum()))
             if out is samples:
                 out = samples.copy()
             if kind == "bandwidth":

@@ -27,9 +27,10 @@ from typing import Generator, Optional
 
 from ..errors import GpuRuntimeError
 from ..machines.base import Machine
+from ..obs import runtime as obs
 from ..sim.engine import Environment
 from ..sim.resources import Resource
-from ..sim.trace import NULL_TRACE, TraceRecorder
+from ..sim.trace import TraceRecorder
 from .buffers import Buffer, DeviceBuffer, HostBuffer
 from .kernel import KernelSpec
 from .memcpy import CopyPlan, plan_copy
@@ -88,7 +89,7 @@ class DeviceRuntime:
         self,
         machine: Machine,
         env: Optional[Environment] = None,
-        trace: TraceRecorder = NULL_TRACE,
+        trace: Optional[TraceRecorder] = None,
         injector=None,
     ) -> None:
         if not machine.node.has_gpus:
@@ -97,7 +98,9 @@ class DeviceRuntime:
             raise GpuRuntimeError(f"{machine.name} has no GPU runtime calibration")
         self.machine = machine
         self.env = env if env is not None else Environment()
-        self.trace = trace
+        #: explicit recorder wins; otherwise records flow into the active
+        #: observability tracer (or the shared null recorder when off)
+        self.trace = trace if trace is not None else obs.active_recorder()
         self.calibration = machine.calibration.gpu_runtime
         #: optional repro.faults.FaultInjector consulted per kernel/DMA
         self.injector = injector
@@ -161,8 +164,17 @@ class DeviceRuntime:
         """
         dev = self._device(device)
         stream = stream or dev.default_stream
+        t_call = self.env.now
         yield self.env.timeout(self.calibration.launch_overhead)
         self.trace.record(self.env.now, "kernel", f"{kernel.name}.begin", device=device)
+        obs.count("gpurt.kernel.launched")
+        ctx = obs.current()
+        if ctx.enabled:
+            # the host-side launch phase Comm|Scope's launch test times
+            ctx.tracer.complete(
+                f"launch:{kernel.name}", "gpurt", t_call, self.env.now,
+                device=device,
+            )
         cmd = KernelCommand(completion=self.env.event(), kernel=kernel)
         stream.enqueue(cmd)
         return cmd
@@ -202,6 +214,8 @@ class DeviceRuntime:
             self.env.now, "dma", f"{plan.kind.value}.begin",
             device=device_idx, nbytes=nbytes, route=plan.route,
         )
+        obs.count("gpurt.dma.issued")
+        obs.count("gpurt.dma.bytes", nbytes)
         cmd = CopyCommand(completion=self.env.event(), plan=plan, nbytes=nbytes)
         stream.enqueue(cmd)
         return cmd

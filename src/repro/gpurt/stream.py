@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator
 
 from ..errors import GpuRuntimeError, InvalidStreamError
+from ..obs import runtime as obs
 from ..sim.engine import Environment, Event
 from ..sim.resources import Resource, Store
 from .kernel import KernelSpec
@@ -30,9 +31,17 @@ class Command:
     """Base class for queued device work."""
 
     completion: Event
+    #: simulated time the host enqueued the command (queue-wait metric)
+    enqueued_at: float = field(default=0.0, compare=False)
 
     def execute(self, device: "Device") -> Generator:  # pragma: no cover
         raise NotImplementedError
+
+    def _queue_wait(self, device: "Device") -> float:
+        """Observe and return time spent queued behind earlier commands."""
+        wait = device.env.now - self.enqueued_at
+        obs.observe("gpurt.kernel.queue_wait_us", wait * 1e6)
+        return wait
 
 
 @dataclass
@@ -40,6 +49,15 @@ class KernelCommand(Command):
     kernel: KernelSpec = field(default=None)  # type: ignore[assignment]
 
     def execute(self, device: "Device") -> Generator:
+        ctx = obs.current()
+        if ctx.enabled:
+            self._queue_wait(device)
+            if device.env.now > self.enqueued_at:
+                ctx.tracer.complete(
+                    f"queue:{self.kernel.name}", "gpurt",
+                    self.enqueued_at, device.env.now, device=device.index,
+                )
+        t_exec = device.env.now
         duration = self.kernel.duration_on(device)
         injector = device.runtime.injector
         if injector is not None:
@@ -49,6 +67,12 @@ class KernelCommand(Command):
         device.trace.record(
             device.env.now, "kernel", f"{self.kernel.name}.end", device=device.index
         )
+        obs.count("gpurt.kernel.completed")
+        if ctx.enabled:
+            ctx.tracer.complete(
+                f"exec:{self.kernel.name}", "gpurt", t_exec, device.env.now,
+                device=device.index,
+            )
 
 
 @dataclass
@@ -59,6 +83,8 @@ class CopyCommand(Command):
     def execute(self, device: "Device") -> Generator:
         req = device.dma_engines.request()
         yield req
+        ctx = obs.current()
+        t_dma = device.env.now
         try:
             duration = self.plan.duration(self.nbytes)
             injector = device.runtime.injector
@@ -76,6 +102,11 @@ class CopyCommand(Command):
             nbytes=self.nbytes,
             route=self.plan.route,
         )
+        if ctx.enabled:
+            ctx.tracer.complete(
+                f"dma:{self.plan.kind.value}", "gpurt", t_dma, device.env.now,
+                device=device.index, nbytes=self.nbytes,
+            )
 
 
 class Stream:
@@ -101,6 +132,7 @@ class Stream:
     def enqueue(self, command: Command) -> Command:
         if self._destroyed:
             raise InvalidStreamError(f"stream {self.stream_id} was destroyed")
+        command.enqueued_at = self.env.now
         self._inflight += 1
         self._queue.put(command)
         return command

@@ -110,6 +110,22 @@ def build_artifacts(study: Study | None = None, curves: bool = True) -> Artifact
                 f"curves/{machine.name.lower()}_babelstream_gpu.txt",
                 render_curve(babelstream_gpu_curve(machine)),
             )
+
+    from ..obs import runtime as obs
+
+    ctx = obs.current()
+    if ctx.enabled:
+        # with observability armed, the metrics accumulated while
+        # building the tables above become part of the bundle itself
+        import json
+
+        from ..obs.export import metrics_snapshot
+
+        bundle.add(
+            "obs/metrics.json",
+            json.dumps(metrics_snapshot(ctx.metrics), indent=1,
+                       sort_keys=True),
+        )
     return bundle
 
 

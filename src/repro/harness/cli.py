@@ -11,11 +11,21 @@ Usage::
     python -m repro --runs 20 table6   # faster, fewer executions
     python -m repro all --faults lossy   # under a fault-injection profile
     python -m repro selfcheck --faults smoke   # fault-subsystem smoke test
+    python -m repro table4 --profile     # per-subsystem event-loop profile
+    python -m repro table6 --trace-out t.json --metrics-out m.json
+    python -m repro selfcheck --obs smoke   # observability smoke test
 
 Under ``--faults <profile>`` individual benchmark cells may be killed by
 injected node failures; after bounded retries they are rendered as the
 ``—†`` degraded marker with a footnote, and the process exits with
 status 3 (completed, but degraded) instead of 0.
+
+``--trace-out``/``--metrics-out``/``--profile`` switch observability on
+for the run: spans, counters and the event-loop profiler flow to the
+named files and to a stderr digest.  Without those flags the null
+observability context is active and stdout is byte-identical to a build
+without the subsystem.  ``--quiet`` silences every stderr report
+(resilience, profile, file notices) without touching stdout.
 """
 
 from __future__ import annotations
@@ -53,6 +63,18 @@ TARGETS = (
 
 #: exit status when the run completed but some cells degraded under faults
 EXIT_DEGRADED = 3
+
+
+def _stderr_report(text: str, quiet: bool) -> None:
+    """The one gate every out-of-band report goes through.
+
+    Resilience summaries, observability digests and "wrote FILE" notices
+    all land on stderr via this helper, so ``--quiet`` suppresses them
+    consistently and stdout stays pure table text either way.
+    """
+    if quiet or not text:
+        return
+    print(text, file=sys.stderr)
 
 
 def _print_table1() -> str:
@@ -103,7 +125,7 @@ def _print_table9() -> str:
     return "\n".join(lines)
 
 
-def run_target(target: str, study: Study) -> str:
+def run_target(target: str, study: Study, *, obs_smoke: bool = False) -> str:
     """Produce the output text for one CLI target."""
     if target == "table1":
         return _print_table1()
@@ -146,23 +168,28 @@ def run_target(target: str, study: Study) -> str:
 
         return render_selfcheck(run_selfcheck())
     if target == "selfcheck":
-        return _run_selfcheck_target(study)
+        return _run_selfcheck_target(study, obs_smoke=obs_smoke)
     raise ValueError(f"unknown target: {target}")
 
 
-def _run_selfcheck_target(study: Study) -> str:
+def _run_selfcheck_target(study: Study, obs_smoke: bool = False) -> str:
     """``selfcheck``: structural checks, plus the fault smoke suite
-    whenever a fault plan is armed (``--faults smoke`` in CI)."""
+    whenever a fault plan is armed (``--faults smoke`` in CI) and the
+    observability smoke suite under ``--obs smoke``."""
     from .selfcheck import (
         render_fault_smoke,
+        render_obs_smoke,
         render_selfcheck,
         run_fault_smoke,
+        run_obs_smoke,
         run_selfcheck,
     )
 
     parts = [render_selfcheck(run_selfcheck())]
     if study.config.faults is not None and not study.config.faults.is_null():
         parts.append(render_fault_smoke(run_fault_smoke()))
+    if obs_smoke:
+        parts.append(render_obs_smoke(run_obs_smoke()))
     return "\n".join(parts)
 
 
@@ -260,6 +287,29 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=str, default="",
         help="write the (last) target's output to this file as well",
     )
+    parser.add_argument(
+        "--trace-out", type=str, default="", metavar="FILE",
+        help="write a Chrome trace_event JSON (Perfetto-loadable) of the "
+             "run's spans to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default="", metavar="FILE",
+        help="write the run's counters/gauges/histograms to FILE as JSON",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the event loop per subsystem and print the digest "
+             "to stderr",
+    )
+    parser.add_argument(
+        "--obs", type=str, default="none", choices=("none", "smoke"),
+        help="observability smoke suite selector for the selfcheck target",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress all stderr reports (resilience, profile, file "
+             "notices); stdout is unchanged",
+    )
     args = parser.parse_args(argv)
 
     from ..errors import ReproError
@@ -282,30 +332,53 @@ def main(argv: list[str] | None = None) -> int:
             if t not in ("all", "report", "artifacts", "selfcheck")
         ] + ["report"]
 
+    from ..obs import runtime as obs_runtime
+    from ..obs.runtime import NULL_CONTEXT, ObsContext
+
+    obs_wanted = bool(args.trace_out or args.metrics_out or args.profile)
+    ctx = ObsContext.create(profile=args.profile) if obs_wanted else NULL_CONTEXT
+
     text = ""
     wrote_bundle = False
-    for target in targets:
-        if target == "artifacts":
-            from .artifacts import write_artifacts
+    with obs_runtime.observability(ctx):
+        for target in targets:
+            if target == "artifacts":
+                from .artifacts import write_artifacts
 
-            directory = args.output or "artifacts"
-            written = write_artifacts(directory, study)
-            wrote_bundle = True
-            print(f"==> artifacts ({len(written)} files under {directory})")
-            continue
-        text = run_target(target, study)
-        print(f"==> {target}")
-        print(text)
-        print()
+                directory = args.output or "artifacts"
+                written = write_artifacts(directory, study)
+                wrote_bundle = True
+                print(f"==> artifacts ({len(written)} files under {directory})")
+                continue
+            text = run_target(target, study, obs_smoke=args.obs == "smoke")
+            print(f"==> {target}")
+            print(text)
+            print()
     if args.output and not wrote_bundle:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
-        print(f"wrote {args.output}", file=sys.stderr)
+        _stderr_report(f"wrote {args.output}", args.quiet)
     if study.injector is not None:
         # the summary goes to stderr so stdout stays pure table text
-        print(study.resilience.summary(), file=sys.stderr)
-        if study.resilience.degraded_count:
-            return EXIT_DEGRADED
+        _stderr_report(study.resilience.summary(), args.quiet)
+    if ctx.enabled:
+        from ..obs.export import (
+            text_summary,
+            write_chrome_trace,
+            write_metrics,
+        )
+
+        if args.trace_out:
+            write_chrome_trace(args.trace_out, ctx.tracer)
+            _stderr_report(f"wrote {args.trace_out}", args.quiet)
+        if args.metrics_out:
+            write_metrics(args.metrics_out, ctx.metrics)
+            _stderr_report(f"wrote {args.metrics_out}", args.quiet)
+        _stderr_report(
+            text_summary(ctx.tracer, ctx.metrics, ctx.profiler), args.quiet
+        )
+    if study.injector is not None and study.resilience.degraded_count:
+        return EXIT_DEGRADED
     return 0
 
 

@@ -287,3 +287,130 @@ def render_fault_smoke(findings: list[Finding]) -> str:
             f"(null plan, retransmit, link windows, GPU faults, watchdog)"
         )
     return "\n".join(str(f) for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# observability smoke checks: ``python -m repro selfcheck --obs smoke``
+# ---------------------------------------------------------------------------
+
+def check_obs_null_context() -> list[Finding]:
+    """The default context must be the shared disabled singletons."""
+    from ..obs import NULL_CONTEXT, NULL_SPAN, runtime as obs
+    from ..sim.trace import NULL_TRACE
+
+    out = []
+    if obs.current().enabled and obs.current() is not NULL_CONTEXT:
+        # a test harness may have armed a context; restore-on-exit is
+        # covered by the unit tests, so only flag a *leaked* enable
+        out.append(Finding("-", "obs", "enabled context leaked into "
+                           "selfcheck outside an observability() block"))
+    with obs.observability(NULL_CONTEXT):
+        # every hot-path helper must degrade to a shared no-op
+        obs.count("mpisim.send.eager")
+        obs.observe("gpurt.kernel.queue_wait_us", 1.0)
+        if obs.current().tracer.span("x", "study") is not NULL_SPAN:
+            out.append(Finding("-", "obs", "null tracer allocated a span"))
+        if obs.active_recorder() is not NULL_TRACE:
+            out.append(Finding("-", "obs",
+                               "disabled context built a live recorder"))
+    return out
+
+
+def check_obs_span_roundtrip() -> list[Finding]:
+    """An instrumented ping-pong must export a well-formed Chrome trace
+    with live mpisim counters."""
+    from ..benchmarks.osu.latency import measure_pingpong
+    from ..machines.registry import get_machine
+    from ..mpisim.placement import on_socket_pair
+    from ..mpisim.transport import BufferKind
+    from ..obs import ObsContext, chrome_trace, runtime as obs
+
+    out = []
+    ctx = ObsContext.create(profile=True)
+    with obs.observability(ctx):
+        machine = get_machine("sawtooth")
+        measure_pingpong(machine, on_socket_pair(machine), 0, BufferKind.HOST)
+    trace = chrome_trace(ctx.tracer)
+    events = trace.get("traceEvents", [])
+    complete = [e for e in events if e.get("ph") == "X"]
+    if not complete:
+        out.append(Finding("-", "obs", "ping-pong produced no spans"))
+    for event in events:
+        required = {"name", "ph", "ts", "pid", "tid"}
+        if event.get("ph") == "X":
+            required |= {"dur", "cat"}
+        missing = required - event.keys()
+        if missing:
+            out.append(Finding("-", "obs",
+                               f"trace event missing keys {sorted(missing)}"))
+            break
+    snapshot = ctx.metrics.snapshot()
+    if not snapshot.get("mpisim.send.eager", {}).get("value"):
+        out.append(Finding("-", "obs", "eager-send counter never moved"))
+    if ctx.profiler is None or not ctx.profiler.report().total_events:
+        out.append(Finding("-", "obs", "profiler attributed no events"))
+    return out
+
+
+def check_obs_histogram_edges() -> list[Finding]:
+    """Bucket boundaries are inclusive upper bounds; overflow is kept."""
+    from ..obs import Histogram
+
+    out = []
+    h = Histogram("smoke.hist.edges", bounds=(1.0, 10.0))
+    for value in (1.0, 10.0, 11.0):
+        h.observe(value)
+    buckets = h.snapshot()["buckets"]
+    if (buckets["le_1"], buckets["le_10"], buckets["overflow"]) != (1, 1, 1):
+        out.append(Finding("-", "obs", f"bucket edges misplaced: {buckets}"))
+    if h.quantile(0.5) != 10.0:
+        out.append(Finding("-", "obs",
+                           f"median {h.quantile(0.5)} != bucket bound 10"))
+    return out
+
+
+def check_obs_profile_cli() -> list[Finding]:
+    """``python -m repro table4 --profile`` must emit the table on stdout
+    and the per-subsystem digest on stderr (exit 0)."""
+    import contextlib
+    import io
+
+    from .cli import main
+
+    stdout, stderr = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(stdout), contextlib.redirect_stderr(stderr):
+        status = main(["table4", "--runs", "2", "--profile"])
+    out = []
+    if status != 0:
+        out.append(Finding("-", "obs", f"--profile run exited {status}"))
+    if "==> table4" not in stdout.getvalue():
+        out.append(Finding("-", "obs", "--profile run lost the table"))
+    if "events/sec" not in stderr.getvalue():
+        out.append(Finding("-", "obs",
+                           "--profile digest missing from stderr"))
+    return out
+
+
+OBS_CHECKS = (
+    check_obs_null_context,
+    check_obs_span_roundtrip,
+    check_obs_histogram_edges,
+    check_obs_profile_cli,
+)
+
+
+def run_obs_smoke() -> list[Finding]:
+    """Exercise the observability subsystem end to end; empty = healthy."""
+    findings: list[Finding] = []
+    for check in OBS_CHECKS:
+        findings.extend(check())
+    return findings
+
+
+def render_obs_smoke(findings: list[Finding]) -> str:
+    if not findings:
+        return (
+            f"obs smoke passed: {len(OBS_CHECKS)} check families "
+            f"(null context, span roundtrip, histogram edges, --profile CLI)"
+        )
+    return "\n".join(str(f) for f in findings)

@@ -24,8 +24,9 @@ from typing import Any, Callable, Generator, Optional
 
 from ..errors import InjectedFault, MpiSimError
 from ..machines.base import Machine
+from ..obs import runtime as obs
 from ..sim.engine import Environment
-from ..sim.trace import NULL_TRACE, TraceRecorder
+from ..sim.trace import TraceRecorder
 from .placement import RankLocation
 from .protocols import (
     EAGER_THRESHOLD,
@@ -76,12 +77,17 @@ class MatchQueue:
     a receive posted with a tag takes the oldest message with that tag,
     leaving earlier messages with other tags queued — the semantics
     plain FIFO stores cannot express.
+
+    ``depth_hist`` (a metrics histogram, or the shared no-op stub)
+    observes the unexpected-queue depth every time a message has to be
+    queued rather than matched — the quantity MPI implementors watch.
     """
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, depth_hist=None) -> None:
         self.env = env
         self.items: list[Message] = []
         self._waiters: list[tuple[Callable[[Message], bool], Any]] = []
+        self._depth_hist = depth_hist
 
     def put(self, item: Message) -> None:
         for idx, (match, event) in enumerate(self._waiters):
@@ -90,6 +96,8 @@ class MatchQueue:
                 event.succeed(item)
                 return
         self.items.append(item)
+        if self._depth_hist is not None:
+            self._depth_hist.observe(len(self.items))
 
     def get(self, match: Optional[Callable[[Message], bool]] = None):
         """An event that triggers with the oldest matching message."""
@@ -148,6 +156,7 @@ class RankContext:
                     f"rank {self.rank} -> {dst}: {MAX_RETRANSMITS} "
                     "consecutive transmission attempts dropped"
                 )
+            self.world._m_retransmit.inc()
             yield self.env.timeout(
                 RETRANSMIT_TIMEOUT * RETRANSMIT_BACKOFF ** (attempt - 1)
             )
@@ -167,7 +176,9 @@ class RankContext:
         world = self.world
         cost = world.path(self.rank, dst, buffer)
         seq = world._next_seq()
+        t_post = self.env.now
         if nbytes <= world.eager_threshold:
+            world._m_eager.inc()
             yield self.env.timeout(self._overhead(cost.o_send))
             yield from self._transmit(dst)
             arrival = world._reserve_wire(self.rank, dst, nbytes, cost)
@@ -175,18 +186,31 @@ class RankContext:
                 Message(_MsgKind.EAGER, self.rank, dst, nbytes, arrival,
                         buffer, payload, tag, seq)
             )
+            if world._obs_enabled:
+                world._tracer.complete(
+                    "send.eager", "mpisim", t_post, self.env.now,
+                    src=self.rank, dst=dst, nbytes=nbytes,
+                )
             return
         # rendezvous
+        world._m_rendezvous.inc()
         yield self.env.timeout(self._overhead(cost.o_send))
         world._mailbox(self.rank, dst).put(
             Message(_MsgKind.RTS, self.rank, dst, nbytes,
                     self.env.now + cost.wire, buffer, None, tag, seq)
         )
+        t_rts = self.env.now
         cts: Message = yield world._control(dst, self.rank).get(
             lambda m: m.seq == seq
         )
         if cts.kind != _MsgKind.CTS:
             raise MpiSimError(f"rank {self.rank}: expected CTS, got {cts.kind}")
+        if world._obs_enabled:
+            # the RTS->CTS handshake wait is the rendezvous signature
+            world._tracer.complete(
+                "rendezvous.handshake", "mpisim", t_rts, self.env.now,
+                src=self.rank, dst=dst, nbytes=nbytes,
+            )
         if cts.arrival > self.env.now:
             yield self.env.timeout(cts.arrival - self.env.now)
         yield from self._transmit(dst)
@@ -195,6 +219,11 @@ class RankContext:
             Message(_MsgKind.DATA, self.rank, dst, nbytes, arrival,
                     buffer, payload, tag, seq)
         )
+        if world._obs_enabled:
+            world._tracer.complete(
+                "send.rendezvous", "mpisim", t_post, self.env.now,
+                src=self.rank, dst=dst, nbytes=nbytes,
+            )
 
     @staticmethod
     def _envelope_match(tag: int) -> Callable[[Message], bool]:
@@ -288,7 +317,7 @@ class MpiWorld:
         machine: Machine,
         placement: list[RankLocation],
         env: Optional[Environment] = None,
-        trace: TraceRecorder = NULL_TRACE,
+        trace: Optional[TraceRecorder] = None,
         eager_threshold: int = EAGER_THRESHOLD,
         transport=None,
         injector=None,
@@ -306,7 +335,18 @@ class MpiWorld:
         self.machine = machine
         self.placement = list(placement)
         self.env = env if env is not None else Environment()
-        self.trace = trace
+        #: explicit recorder wins; otherwise records flow into the active
+        #: observability tracer (or the shared null recorder when off)
+        self.trace = trace if trace is not None else obs.active_recorder()
+        ctx = obs.current()
+        self._obs_enabled = ctx.enabled
+        self._tracer = ctx.tracer
+        self._m_eager = ctx.metrics.counter("mpisim.send.eager")
+        self._m_rendezvous = ctx.metrics.counter("mpisim.send.rendezvous")
+        self._m_retransmit = ctx.metrics.counter("mpisim.retransmit.fired")
+        self._m_queue_depth = ctx.metrics.histogram(
+            "mpisim.matchqueue.depth", bounds=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
         self.transport = transport if transport is not None else Transport(machine)
         self.eager_threshold = eager_threshold
         #: optional repro.faults.FaultInjector; None = perfectly clean wire
@@ -346,7 +386,10 @@ class MpiWorld:
     def _mailbox(self, src: int, dst: int) -> MatchQueue:
         key = (src, dst)
         if key not in self._mailboxes:
-            self._mailboxes[key] = MatchQueue(self.env)
+            self._mailboxes[key] = MatchQueue(
+                self.env,
+                depth_hist=self._m_queue_depth if self._obs_enabled else None,
+            )
         return self._mailboxes[key]
 
     def _control(self, src: int, dst: int) -> MatchQueue:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
+from ..obs import runtime as obs
 
 
 @dataclass
@@ -98,6 +99,14 @@ class NetworkLink:
         self.busy_until = start + nbytes / self.effective_bandwidth(start)
         self.bytes_carried += nbytes
         self.transfers += 1
+        ctx = obs.current()
+        if ctx.enabled:
+            ctx.metrics.counter("netsim.link.reserved").inc()
+            ctx.metrics.counter("netsim.link.bytes").inc(nbytes)
+            ctx.tracer.complete(
+                f"xfer:{self.name}", "netsim", start, self.busy_until,
+                nbytes=nbytes, queued=start - now,
+            )
         return self.busy_until + self.effective_latency(start)
 
     def utilisation_until(self, horizon: float) -> float:
@@ -125,6 +134,7 @@ def reserve_path(links: list["NetworkLink"], now: float, nbytes: int) -> float:
     """
     if not links:
         raise SimulationError("reserve_path needs at least one link")
+    ctx = obs.current()
     header = now
     finish = now
     for link in links:
@@ -135,6 +145,13 @@ def reserve_path(links: list["NetworkLink"], now: float, nbytes: int) -> float:
         link.bytes_carried += nbytes
         link.transfers += 1
         latency = link.effective_latency(start)
+        if ctx.enabled:
+            ctx.metrics.counter("netsim.link.reserved").inc()
+            ctx.metrics.counter("netsim.link.bytes").inc(nbytes)
+            ctx.tracer.complete(
+                f"xfer:{link.name}", "netsim", start, link.busy_until,
+                nbytes=nbytes, queued=start - header,
+            )
         header = start + latency
         # delivery cannot precede the drain of ANY link on the path
         # (a slow middle link governs even if later links are fast)
@@ -174,7 +191,13 @@ class AdaptiveRoute:
             path for path in self.candidates
             if not any(l.is_down(now) for l in path)
         ]
-        return min(alive or self.candidates, key=readiness)
+        chosen = min(alive or self.candidates, key=readiness)
+        ctx = obs.current()
+        if ctx.enabled:
+            ctx.metrics.counter("netsim.route.chosen").inc()
+            if alive and len(alive) < len(self.candidates):
+                ctx.metrics.counter("netsim.route.rerouted").inc()
+        return chosen
 
 
 @dataclass

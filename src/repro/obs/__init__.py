@@ -1,0 +1,85 @@
+"""Unified observability: spans, metrics, sim profiler, exporters.
+
+The layer has four pieces (see DESIGN.md §5c):
+
+* :mod:`repro.obs.span` — nested :class:`Span`/:class:`Tracer` in both
+  simulated and host wall-time over a bounded ring buffer;
+* :mod:`repro.obs.metrics` — namespaced :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` instruments with no-op stubs;
+* :mod:`repro.obs.profiler` — :class:`SimProfiler`, the engine hook
+  attributing events and host time per subsystem;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON, metrics JSON
+  and text summaries.
+
+Everything activates through :mod:`repro.obs.runtime`: the CLI builds
+an :class:`ObsContext` for ``--trace-out`` / ``--metrics-out`` /
+``--profile`` and instrumented call sites read ``runtime.current()``.
+With no context active, every instrument is a shared no-op and the run
+stays byte-identical to an uninstrumented build.
+"""
+
+from .export import (
+    chrome_trace,
+    metrics_snapshot,
+    text_summary,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from .profiler import ProfileReport, SimProfiler, SubsystemStats
+from .runtime import (
+    NULL_CONTEXT,
+    ObsContext,
+    activate,
+    count,
+    current,
+    observability,
+    observe,
+)
+from .span import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+    "SimProfiler",
+    "SubsystemStats",
+    "ProfileReport",
+    "ObsContext",
+    "NULL_CONTEXT",
+    "current",
+    "activate",
+    "observability",
+    "count",
+    "observe",
+    "chrome_trace",
+    "metrics_snapshot",
+    "text_summary",
+    "write_chrome_trace",
+    "write_metrics",
+]

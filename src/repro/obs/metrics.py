@@ -1,0 +1,291 @@
+"""Namespaced metrics instruments: counters, gauges, histograms.
+
+Instrument names follow the ``subsystem.verb.noun`` convention
+(``mpisim.send.eager``, ``gpurt.kernel.queue_wait_us``): lowercase
+dotted paths whose first component names the emitting subsystem, so a
+flat metrics snapshot groups naturally and the DESIGN.md taxonomy stays
+greppable.
+
+Two implementations share one API:
+
+* :class:`MetricsRegistry` — the live registry, caching one instrument
+  object per name and snapshotting to a plain dict for JSON export.
+* :class:`NullMetrics` — the disabled registry; every accessor returns
+  a shared no-op instrument whose mutators do nothing.  This is the
+  zero-overhead path: with observability off, a hot-path increment is
+  one attribute lookup and one empty call.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Iterable
+
+from ..errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+#: default histogram bucket upper bounds (generic latency-ish spread)
+DEFAULT_BUCKETS = (
+    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6,
+)
+
+
+def validate_name(name: str) -> str:
+    """Enforce the ``subsystem.verb.noun`` naming convention."""
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(
+            f"instrument name {name!r} violates the dotted "
+            "subsystem.verb.noun convention (lowercase [a-z0-9_], "
+            "at least two dot-separated components)"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, bytes in flight)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimates.
+
+    ``bounds`` are *inclusive upper* bucket bounds (a value exactly on a
+    bound lands in that bound's bucket); values above the last bound go
+    to the overflow bucket.  Quantiles are estimated as the upper bound
+    of the bucket where the cumulative count crosses the rank — for the
+    overflow bucket, the maximum observed value.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ObservabilityError(f"histogram {name} needs at least one bucket")
+        if any(b <= a for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name} bounds must be strictly increasing: "
+                f"{self.bounds!r}"
+            )
+        #: one slot per bound plus the overflow bucket
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for idx, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= rank and n:
+                if idx == len(self.bounds):
+                    return self.max
+                return self.bounds[idx]
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                **{f"le_{b:g}": n for b, n in zip(self.bounds, self.counts)},
+                "overflow": self.counts[-1],
+            },
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Live instrument registry, one object per validated name."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(validate_name(name), *args)
+            self._instruments[name] = instrument
+        elif type(instrument) is not cls:
+            raise ObservabilityError(
+                f"instrument {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def declare(self, names: Iterable[str]) -> None:
+        """Pre-register counters so they appear (as zero) in snapshots
+        even when their code path never fires in a given run."""
+        for name in names:
+            self.counter(name)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """Flat ``{name: {...}}`` dict, stable name order, JSON-ready."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+
+class _NullInstrument:
+    """Answers every instrument mutator with a no-op."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    mean = 0.0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: shared no-op instruments, empty snapshot."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def declare(self, names: Iterable[str]) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+NULL_METRICS = NullMetrics()
+
+#: canonical instrument set, declared up front by an enabled context so
+#: every metrics snapshot carries the full taxonomy (zeros included)
+DECLARED_COUNTERS = (
+    "mpisim.send.eager",
+    "mpisim.send.rendezvous",
+    "mpisim.retransmit.fired",
+    "netsim.link.reserved",
+    "netsim.link.bytes",
+    "netsim.route.chosen",
+    "netsim.route.rerouted",
+    "gpurt.kernel.launched",
+    "gpurt.kernel.completed",
+    "gpurt.dma.issued",
+    "gpurt.dma.bytes",
+    "faults.injected.drop",
+    "faults.injected.straggler",
+    "faults.injected.gpu_kernel",
+    "faults.injected.gpu_memcpy",
+    "faults.injected.nodefail",
+    "faults.injected.sample_bursts",
+    "study.cell.completed",
+    "study.cell.degraded",
+)

@@ -24,6 +24,25 @@ NORMAL = 1
 #: Priority used for urgent events (process bookkeeping runs before user events).
 URGENT = 0
 
+#: process-wide profiler hook (see repro.obs.profiler.SimProfiler);
+#: None keeps step() on the exact unprofiled path
+_PROFILER = None
+
+
+def set_profiler(profiler) -> object:
+    """Install (or, with ``None``, remove) the engine profiler hook.
+
+    Returns the previously installed hook so callers can restore it.
+    The hook must expose ``account(event, callbacks, host_dt)``; it is
+    invoked once per processed event on *every* environment in the
+    process, which is exactly what study-level profiling wants (each
+    benchmark execution builds private environments).
+    """
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
+
 
 class Event:
     """A condition that may be triggered at some simulated time.
@@ -366,9 +385,16 @@ class Environment:
         if when < self._now:
             raise SimulationError("time went backwards")
         self._now = when
+        profiler = _PROFILER
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            t0 = time.perf_counter()
+            for callback in callbacks:
+                callback(event)
+            profiler.account(event, callbacks, time.perf_counter() - t0)
         if not event._ok and not event._defused:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))

@@ -5,12 +5,22 @@ structured :class:`TraceEvent` records into (kernel launched, DMA started,
 message matched, ...).  Tests use it to verify that the simulated runtime
 actually exercised the expected code path — e.g. that a device-to-device
 copy on Summit crossed the X-Bus when the GPUs sit on different sockets.
+
+Since the observability layer landed, ``TraceRecorder`` is a thin
+adapter over :class:`repro.obs.span.Tracer`: records land in the
+tracer's bounded ring (as instant events next to any spans), so a
+recorder handed the study's active tracer feeds the same Chrome-trace
+export as everything else, while a bare ``TraceRecorder()`` still owns
+a private buffer and behaves exactly as it always did.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
+
+from ..obs.span import Tracer
 
 
 @dataclass(frozen=True)
@@ -31,47 +41,73 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceEvent` records in time order."""
+    """Accumulates :class:`TraceEvent` records in time order.
 
-    def __init__(self, enabled: bool = True, max_events: int | None = None) -> None:
+    ``tracer`` — record into an existing :class:`~repro.obs.span.Tracer`
+    (the observability layer's ring) instead of a private one.  The
+    recorder then reads back only instant events, so span records in a
+    shared tracer never leak into ``filter``/``__iter__`` results.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_events: int | None = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.enabled = enabled
         self.max_events = max_events
-        self._events: list[TraceEvent] = []
-        self.dropped = 0
+        if tracer is not None:
+            self._tracer = tracer
+        else:
+            self._tracer = Tracer(capacity=max_events)
 
     def record(
         self, time: float, category: str, label: str, **attrs: Any
     ) -> None:
+        if not isinstance(time, (int, float)) or isinstance(time, bool):
+            raise ValueError(
+                f"trace timestamp must be a real number: {time!r}"
+            )
+        if not math.isfinite(time) or time < 0:
+            raise ValueError(
+                f"trace timestamp must be non-negative and finite, got "
+                f"{time!r} ({category}/{label})"
+            )
         if not self.enabled:
             return
-        if self.max_events is not None and len(self._events) >= self.max_events:
-            self.dropped += 1
-            return
-        self._events.append(TraceEvent(time, category, label, attrs))
+        self._tracer.instant(float(time), category, label, attrs)
+
+    @property
+    def dropped(self) -> int:
+        """Records rejected because the ring buffer was full."""
+        return self._tracer.dropped
+
+    def _events(self) -> list[TraceEvent]:
+        return self._tracer.events()
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._events())
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self._events())
 
     def clear(self) -> None:
-        self._events.clear()
-        self.dropped = 0
+        self._tracer.clear()
 
     def filter(
         self, category: str | None = None, label: str | None = None
     ) -> list[TraceEvent]:
-        return [ev for ev in self._events if ev.matches(category, label)]
+        return [ev for ev in self._events() if ev.matches(category, label)]
 
     def categories(self) -> set[str]:
-        return {ev.category for ev in self._events}
+        return {ev.category for ev in self._events()}
 
     def spans(self, category: str) -> list[tuple[float, float]]:
         """Pair up ``<label>.begin`` / ``<label>.end`` records into spans."""
         begins: list[TraceEvent] = []
         out: list[tuple[float, float]] = []
-        for ev in self._events:
+        for ev in self._events():
             if ev.category != category:
                 continue
             if ev.label.endswith(".begin"):

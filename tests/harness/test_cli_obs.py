@@ -1,0 +1,125 @@
+"""CLI observability flags: byte-identity when off, valid exports when on.
+
+These are the PR's acceptance tests: ``--trace-out``/``--metrics-out``/
+``--profile`` must not perturb stdout by a single byte, the trace file
+must be loadable Chrome ``trace_event`` JSON, and the metrics file must
+carry counters from every instrumented subsystem.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+FAST = ["--runs", "2"]
+
+
+def _stdout(capsys, argv) -> tuple[int, str]:
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestByteIdentity:
+    def test_obs_flags_leave_stdout_identical(self, capsys, tmp_path):
+        code_a, base = _stdout(capsys, ["table4", "table6"] + FAST)
+        code_b, flagged = _stdout(capsys, [
+            "table4", "table6", *FAST,
+            "--trace-out", str(tmp_path / "t.json"),
+            "--metrics-out", str(tmp_path / "m.json"),
+            "--profile", "--quiet",
+        ])
+        assert code_a == code_b == 0
+        assert flagged == base
+
+    def test_quiet_silences_stderr_entirely(self, capsys, tmp_path):
+        main(["table4", *FAST, "--profile", "--quiet",
+              "--trace-out", str(tmp_path / "t.json")])
+        assert capsys.readouterr().err == ""
+
+    def test_profile_digest_goes_to_stderr_only(self, capsys):
+        code = main(["table4", *FAST, "--profile"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "events/sec" in captured.err
+        assert "events/sec" not in captured.out
+
+
+class TestTraceGolden:
+    @pytest.fixture(scope="class")
+    def trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "trace.json"
+        assert main(["table4", "table6", *FAST, "--quiet",
+                     "--trace-out", str(path)]) == 0
+        return json.loads(path.read_text())
+
+    def test_loadable_and_shaped(self, trace):
+        assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert trace["traceEvents"]
+
+    def test_event_schema(self, trace):
+        for event in trace["traceEvents"]:
+            assert event["ph"] in ("M", "X", "B", "i")
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_subsystem_lanes_present(self, trace):
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        # a table4+table6 run exercises CPU MPI, GPU runtime and cells
+        assert {"mpisim", "gpurt", "study"} <= cats
+
+    def test_no_spans_left_open(self, trace):
+        assert not [e for e in trace["traceEvents"] if e["ph"] == "B"]
+
+
+class TestMetricsGolden:
+    @pytest.fixture(scope="class")
+    def metrics(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("obs") / "metrics.json"
+        assert main(["table4", "table6", *FAST, "--quiet",
+                     "--metrics-out", str(path)]) == 0
+        return json.loads(path.read_text())
+
+    def test_schema_header(self, metrics):
+        assert metrics["schema"] == "repro.metrics/v1"
+
+    def test_counters_from_every_subsystem(self, metrics):
+        instruments = metrics["instruments"]
+        for prefix in ("mpisim", "netsim", "gpurt", "faults", "study"):
+            assert any(n.startswith(prefix + ".") for n in instruments), prefix
+
+    def test_hot_counters_actually_moved(self, metrics):
+        instruments = metrics["instruments"]
+        assert instruments["mpisim.send.eager"]["value"] > 0
+        assert instruments["gpurt.kernel.launched"]["value"] > 0
+        assert instruments["gpurt.dma.bytes"]["value"] > 0
+        assert instruments["study.cell.completed"]["value"] > 0
+
+    def test_clean_run_injects_no_faults(self, metrics):
+        instruments = metrics["instruments"]
+        for name, entry in instruments.items():
+            if name.startswith("faults.injected."):
+                assert entry["value"] == 0, name
+
+
+class TestArtifactsMerge:
+    def test_bundle_gains_metrics_when_obs_active(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        code = main(["table4", "artifacts", *FAST, "--quiet",
+                     "--metrics-out", str(tmp_path / "m.json"),
+                     "--output", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads((out / "obs" / "metrics.json").read_text())
+        assert doc["schema"] == "repro.metrics/v1"
+
+    def test_bundle_has_no_metrics_when_obs_off(self, tmp_path, capsys):
+        out = tmp_path / "bundle"
+        assert main(["table4", "artifacts", *FAST,
+                     "--output", str(out)]) == 0
+        capsys.readouterr()
+        assert not (out / "obs").exists()

@@ -1,0 +1,87 @@
+"""The sim profiler: engine hook, per-subsystem attribution, report."""
+
+from repro.obs import ObsContext, SimProfiler
+from repro.obs import runtime as obs
+from repro.sim.engine import Environment
+
+
+def _pingpong(env: Environment, hops: int = 5):
+    def bouncer():
+        for _ in range(hops):
+            yield env.timeout(1.0)
+
+    env.process(bouncer(), name="bouncer")
+    env.run()
+
+
+class TestAttribution:
+    def test_events_attributed_to_subsystems(self):
+        profiler = SimProfiler()
+        ctx = ObsContext.create(profile=True)
+        ctx.profiler = profiler
+        with obs.observability(ctx):
+            _pingpong(Environment())
+        report = profiler.report()
+        assert report.total_events > 0
+        assert report.total_host_seconds > 0
+        assert sum(s.events for s in report.subsystems.values()) == \
+            report.total_events
+
+    def test_mpisim_dominates_a_message_benchmark(self, sawtooth):
+        from repro.benchmarks.osu.latency import measure_pingpong
+        from repro.mpisim.placement import on_socket_pair
+        from repro.mpisim.transport import BufferKind
+
+        ctx = ObsContext.create(profile=True)
+        with obs.observability(ctx):
+            measure_pingpong(
+                sawtooth, on_socket_pair(sawtooth), 0, BufferKind.HOST
+            )
+        report = ctx.profiler.report()
+        assert "mpisim" in report.subsystems
+        assert report.subsystems["mpisim"].events > 0
+
+    def test_classifier_caches_by_filename(self):
+        profiler = SimProfiler()
+        name = profiler._classify_filename("/x/repro/mpisim/world.py")
+        assert name == "mpisim"
+        assert profiler._by_file["/x/repro/mpisim/world.py"] == "mpisim"
+        assert profiler._classify_filename("/elsewhere/thing.py") == "other"
+
+    def test_events_per_second_nonzero_after_run(self):
+        profiler = SimProfiler()
+        ctx = ObsContext.create(profile=True)
+        ctx.profiler = profiler
+        with obs.observability(ctx):
+            _pingpong(Environment())
+        assert profiler.report().events_per_second > 0
+
+    def test_render_mentions_totals(self):
+        profiler = SimProfiler()
+        ctx = ObsContext.create(profile=True)
+        ctx.profiler = profiler
+        with obs.observability(ctx):
+            _pingpong(Environment())
+        text = profiler.render()
+        assert "events/sec" in text
+        assert "total:" in text
+
+
+class TestHookLifecycle:
+    def test_unprofiled_run_pays_no_hook(self):
+        # with no profiler installed the engine takes the plain branch
+        from repro.sim import engine
+
+        assert engine._PROFILER is None
+        env = Environment()
+        _pingpong(env)
+        assert env.now == 5.0
+
+    def test_profiled_run_gives_same_sim_results(self):
+        env_plain = Environment()
+        _pingpong(env_plain)
+        ctx = ObsContext.create(profile=True)
+        with obs.observability(ctx):
+            env_prof = Environment()
+            _pingpong(env_prof)
+        assert env_prof.now == env_plain.now

@@ -1,0 +1,96 @@
+"""The global observability context: activation, no-op default, hooks."""
+
+from repro.obs import NULL_CONTEXT, NULL_METRICS, NULL_TRACER, ObsContext
+from repro.obs import runtime as obs
+from repro.obs.metrics import DECLARED_COUNTERS
+from repro.sim import engine
+from repro.sim.trace import NULL_TRACE
+
+
+class TestDefaultContext:
+    def test_default_is_disabled_null_context(self):
+        ctx = obs.current()
+        assert not ctx.enabled
+        assert ctx.tracer is NULL_TRACER
+        assert ctx.metrics is NULL_METRICS
+
+    def test_hot_path_helpers_are_noops_when_disabled(self):
+        obs.count("mpisim.send.eager", 5)
+        obs.observe("gpurt.kernel.queue_wait_us", 1.0)
+        assert len(NULL_TRACER) == 0
+
+    def test_active_recorder_is_shared_null(self):
+        assert obs.active_recorder() is NULL_TRACE
+
+
+class TestActivation:
+    def test_observability_scopes_and_restores(self):
+        ctx = ObsContext.create()
+        with obs.observability(ctx):
+            assert obs.current() is ctx
+            obs.count("mpisim.send.eager")
+        assert obs.current() is NULL_CONTEXT
+        assert ctx.metrics.counter("mpisim.send.eager").value == 1
+
+    def test_profiler_hook_installed_and_removed(self):
+        ctx = ObsContext.create(profile=True)
+        before = engine._PROFILER
+        with obs.observability(ctx):
+            assert engine._PROFILER is ctx.profiler
+        assert engine._PROFILER is before
+
+    def test_no_profiler_without_profile_flag(self):
+        ctx = ObsContext.create(profile=False)
+        assert ctx.profiler is None
+        with obs.observability(ctx):
+            assert engine._PROFILER is None
+
+    def test_nested_contexts_restore_outer(self):
+        outer, inner = ObsContext.create(), ObsContext.create()
+        with obs.observability(outer):
+            with obs.observability(inner):
+                assert obs.current() is inner
+            assert obs.current() is outer
+
+    def test_declared_counters_in_every_snapshot(self):
+        ctx = ObsContext.create()
+        snap = ctx.metrics.snapshot()
+        for name in DECLARED_COUNTERS:
+            assert snap[name] == {"type": "counter", "value": 0}
+        subsystems = {name.split(".")[0] for name in snap}
+        assert {"mpisim", "netsim", "gpurt", "faults", "study"} <= subsystems
+
+    def test_active_recorder_routes_into_context_tracer(self):
+        ctx = ObsContext.create()
+        with obs.observability(ctx):
+            rec = obs.active_recorder()
+            rec.record(1.0, "dma", "h2d.begin")
+            assert obs.active_recorder() is rec  # one shared adapter
+        assert len(ctx.tracer.events()) == 1
+
+
+class TestInstrumentedWorld:
+    def test_pingpong_fills_mpisim_instruments(self, sawtooth):
+        from repro.benchmarks.osu.latency import measure_pingpong
+        from repro.mpisim.placement import on_socket_pair
+        from repro.mpisim.transport import BufferKind
+
+        ctx = ObsContext.create()
+        with obs.observability(ctx):
+            latency = measure_pingpong(
+                sawtooth, on_socket_pair(sawtooth), 0, BufferKind.HOST
+            )
+        assert latency > 0
+        assert ctx.metrics.counter("mpisim.send.eager").value > 0
+        spans = ctx.tracer.span_records()
+        assert any(s.name == "send.eager" for s in spans)
+        assert all(s.sim_duration >= 0 for s in spans if s.finished)
+
+    def test_disabled_context_world_is_uninstrumented(self, sawtooth):
+        from repro.benchmarks.osu.latency import measure_pingpong
+        from repro.mpisim.placement import on_socket_pair
+        from repro.mpisim.transport import BufferKind
+
+        measure_pingpong(sawtooth, on_socket_pair(sawtooth), 0, BufferKind.HOST)
+        assert len(NULL_TRACER) == 0
+        assert NULL_METRICS.snapshot() == {}

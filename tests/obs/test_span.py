@@ -1,0 +1,153 @@
+"""Span/Tracer semantics: nesting, misuse, ring-buffer accounting."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+
+
+class TestNesting:
+    def test_context_manager_records_finished_span(self):
+        tr = Tracer()
+        with tr.span("outer", "study") as span:
+            span.set(machine="sawtooth")
+        [record] = tr.span_records()
+        assert record.name == "outer"
+        assert record.category == "study"
+        assert record.finished
+        assert record.wall_duration >= 0.0
+        assert record.attrs == {"machine": "sawtooth"}
+
+    def test_nested_spans_carry_depth(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("middle"):
+                with tr.span("inner"):
+                    pass
+        depths = {r.name: r.depth for r in tr.span_records()}
+        assert depths == {"outer": 0, "middle": 1, "inner": 2}
+
+    def test_exception_closes_span_and_tags_error(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("doomed"):
+                raise ValueError("boom")
+        [record] = tr.span_records()
+        assert record.finished
+        assert record.attrs["error"] == "ValueError"
+        assert tr.open_spans() == []
+
+
+class TestMisuse:
+    def test_exit_order_violation_raises(self):
+        tr = Tracer()
+        outer = tr.begin("outer")
+        tr.begin("inner")
+        with pytest.raises(ObservabilityError, match="exit-order"):
+            outer.end()
+
+    def test_double_end_raises(self):
+        tr = Tracer()
+        span = tr.begin("once")
+        span.end()
+        # the span is off the stack, so a second end is an order violation
+        with pytest.raises(ObservabilityError):
+            span.end()
+
+    def test_unclosed_span_visible_at_export(self):
+        from repro.obs import chrome_trace
+
+        tr = Tracer()
+        tr.begin("left-open", "study")
+        [record] = tr.open_spans()
+        assert not record.finished
+        events = chrome_trace(tr)["traceEvents"]
+        begins = [e for e in events if e["ph"] == "B"]
+        assert [e["name"] for e in begins] == ["left-open"]
+        assert begins[0]["args"]["unfinished"] is True
+
+    def test_clear_with_open_span_raises(self):
+        tr = Tracer()
+        tr.begin("open")
+        with pytest.raises(ObservabilityError, match="open span"):
+            tr.clear()
+
+    def test_complete_span_rejects_negative_duration(self):
+        tr = Tracer()
+        with pytest.raises(ObservabilityError, match="ends before"):
+            tr.complete("bad", "mpisim", 2.0, 1.0)
+
+
+class TestRingBuffer:
+    def test_drops_are_counted_not_silent(self):
+        tr = Tracer(capacity=3)
+        for i in range(10):
+            tr.complete(f"s{i}", "c", 0.0, 1.0)
+        assert len(tr) == 3
+        assert tr.dropped == 7
+        # the oldest records are the ones kept (drop-new policy)
+        assert [r.name for r in tr.span_records()] == ["s0", "s1", "s2"]
+
+    def test_instants_share_the_ring(self):
+        tr = Tracer(capacity=2)
+        tr.instant(0.0, "dma", "a")
+        tr.complete("s", "c", 0.0, 1.0)
+        tr.instant(1.0, "dma", "b")
+        assert len(tr) == 2
+        assert tr.dropped == 1
+
+    def test_unbounded_tracer(self):
+        tr = Tracer(capacity=None)
+        for i in range(100):
+            tr.instant(float(i), "c", "l")
+        assert len(tr) == 100
+        assert tr.dropped == 0
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Tracer(capacity=0)
+
+    def test_clear_resets_drop_count(self):
+        tr = Tracer(capacity=1)
+        tr.instant(0.0, "c", "a")
+        tr.instant(0.0, "c", "b")
+        assert tr.dropped == 1
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.dropped == 0
+
+
+class TestSimClock:
+    def test_clocked_view_records_sim_time(self):
+        now = {"t": 1.5}
+        tr = Tracer()
+        view = tr.with_clock(lambda: now["t"])
+        with view.span("timed", "mpisim"):
+            now["t"] = 2.5
+        [record] = tr.span_records()
+        assert record.sim_begin == 1.5
+        assert record.sim_end == 2.5
+        assert record.sim_duration == 1.0
+
+    def test_retrospective_complete_span(self):
+        tr = Tracer()
+        tr.complete("xfer", "netsim", 3.0, 7.0, nbytes=64)
+        [record] = tr.span_records()
+        assert record.finished
+        assert record.sim_duration == 4.0
+        assert record.attrs["nbytes"] == 64
+
+
+class TestNullTracer:
+    def test_shared_noop_span(self):
+        assert NULL_TRACER.span("x", "y") is NULL_SPAN
+        assert NULL_TRACER.begin("x") is NULL_SPAN
+        with NULL_TRACER.span("x") as span:
+            assert span.set(a=1) is NULL_SPAN
+
+    def test_records_nothing(self):
+        NULL_TRACER.complete("s", "c", 0.0, 1.0)
+        NULL_TRACER.instant(0.0, "c", "l")
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.records() == []
+        assert NULL_TRACER.with_clock(lambda: 0.0) is NULL_TRACER

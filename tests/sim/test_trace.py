@@ -1,5 +1,9 @@
 """Tests for the trace recorder."""
 
+import math
+
+import pytest
+
 from repro.sim.trace import NULL_TRACE, TraceRecorder
 
 
@@ -61,3 +65,35 @@ class TestTraceRecorder:
         tr.record(4.0, "dma", "copy.begin")
         tr.record(9.0, "dma", "copy.end")
         assert tr.spans("dma") == [(1.0, 3.0), (4.0, 9.0)]
+
+
+class TestTimestampValidation:
+    @pytest.mark.parametrize("bad", [-1.0, -1e-12, math.nan, math.inf,
+                                     -math.inf])
+    def test_rejects_nonfinite_or_negative(self, bad):
+        tr = TraceRecorder()
+        with pytest.raises(ValueError, match="non-negative and finite"):
+            tr.record(bad, "dma", "x")
+        assert len(tr) == 0
+
+    @pytest.mark.parametrize("bad", ["1.0", None, True])
+    def test_rejects_non_numbers(self, bad):
+        tr = TraceRecorder()
+        with pytest.raises(ValueError, match="real number"):
+            tr.record(bad, "dma", "x")
+
+    def test_error_names_the_offending_event(self):
+        tr = TraceRecorder()
+        with pytest.raises(ValueError, match="dma/h2d.begin"):
+            tr.record(-3.0, "dma", "h2d.begin")
+
+    def test_disabled_recorder_still_validates(self):
+        with pytest.raises(ValueError):
+            NULL_TRACE.record(-1.0, "dma", "x")
+        assert len(NULL_TRACE) == 0
+
+    def test_zero_and_int_timestamps_fine(self):
+        tr = TraceRecorder()
+        tr.record(0, "dma", "x")
+        tr.record(7, "dma", "y")
+        assert [e.time for e in tr] == [0.0, 7.0]
