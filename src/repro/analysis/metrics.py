@@ -1,6 +1,11 @@
-"""Error metrics for the paper-vs-measured comparison."""
+"""Error metrics for the paper-vs-measured comparison, plus the
+statistical machinery the performance-regression gate is built on
+(Welch's unequal-variance t-test, implemented dependency-free)."""
 
 from __future__ import annotations
+
+import math
+from dataclasses import dataclass
 
 
 def relative_error(measured: float, reference: float) -> float:
@@ -25,3 +30,119 @@ def within_factor(measured: float, reference: float, factor: float) -> bool:
         return measured == reference
     r = measured / reference
     return 1 / factor <= r <= factor
+
+
+# ---------------------------------------------------------------------------
+# Welch's t-test ("MPI Benchmarking Revisited": run-to-run comparisons
+# need a statistical footing, not bare mean deltas)
+# ---------------------------------------------------------------------------
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Lentz's continued fraction for the incomplete beta function."""
+    max_iterations, eps, tiny = 300, 3e-12, 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        for numerator in (
+            m * (b - m) * x / ((qam + m2) * (a + m2)),
+            -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2)),
+        ):
+            d = 1.0 + numerator * d
+            if abs(d) < tiny:
+                d = tiny
+            c = 1.0 + numerator / c
+            if abs(c) < tiny:
+                c = tiny
+            d = 1.0 / d
+            delta = d * c
+            h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)``, the CDF workhorse behind the t distribution."""
+    if a <= 0 or b <= 0:
+        raise ValueError(f"beta parameters must be positive: a={a}, b={b}")
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x out of [0, 1]: {x}")
+    if x == 0.0 or x == 1.0:
+        return x
+    ln_front = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log1p(-x)
+    )
+    front = math.exp(ln_front)
+    # the continued fraction converges fast only below the pivot;
+    # above it, use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def student_t_sf_two_sided(t: float, df: float) -> float:
+    """Two-sided p-value for a t statistic with ``df`` degrees of freedom."""
+    if df <= 0:
+        raise ValueError(f"degrees of freedom must be positive: {df}")
+    if math.isinf(t):
+        return 0.0
+    x = df / (df + t * t)
+    return regularized_incomplete_beta(df / 2.0, 0.5, x)
+
+
+@dataclass(frozen=True)
+class WelchResult:
+    """Welch's t-test outcome for two summarised samples."""
+
+    t: float
+    df: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.01) -> bool:
+        return self.p_value < alpha
+
+
+def welch_t_test(
+    mean_a: float, std_a: float, n_a: int,
+    mean_b: float, std_b: float, n_b: int,
+) -> WelchResult:
+    """Welch's unequal-variance t-test from summary statistics.
+
+    Degenerate inputs are handled the way a deterministic simulator
+    needs: when both samples have zero variance (e.g. repeated runs of
+    a seeded simulation) any difference in means is certain, equality
+    is certain agreement, and no division blows up.
+    """
+    for name, n in (("n_a", n_a), ("n_b", n_b)):
+        if n < 1:
+            raise ValueError(f"{name} must be >= 1: {n}")
+    if std_a < 0 or std_b < 0:
+        raise ValueError(f"negative std: {std_a}, {std_b}")
+    va, vb = std_a * std_a / n_a, std_b * std_b / n_b
+    if va + vb == 0.0:
+        if mean_a == mean_b:
+            return WelchResult(t=0.0, df=float(n_a + n_b - 1), p_value=1.0)
+        return WelchResult(
+            t=math.copysign(math.inf, mean_b - mean_a),
+            df=float(n_a + n_b - 1), p_value=0.0,
+        )
+    t = (mean_b - mean_a) / math.sqrt(va + vb)
+    # Welch-Satterthwaite: a zero-variance side contributes nothing
+    denom = 0.0
+    for v, n in ((va, n_a), (vb, n_b)):
+        if v > 0.0:
+            if n < 2:
+                # a single nonzero-variance sample cannot happen via
+                # Statistic.from_samples; be conservative if it does
+                return WelchResult(t=t, df=1.0,
+                                   p_value=student_t_sf_two_sided(t, 1.0))
+            denom += v * v / (n - 1)
+    df = (va + vb) ** 2 / denom
+    return WelchResult(t=t, df=df, p_value=student_t_sf_two_sided(t, df))

@@ -17,6 +17,7 @@ from ...gpurt.api import DeviceRuntime
 from ...gpurt.buffers import Buffer
 from ...hardware.topology import LinkClass
 from ...machines.base import Machine
+from ...obs import runtime as obs_runtime
 from ...sim.random import NOISE_BANDWIDTH, NOISE_LATENCY, NoiseModel
 
 #: the paper's transfer sizes
@@ -46,6 +47,10 @@ def _timed_copy(rt: DeviceRuntime, dst: Buffer, src: Buffer, nbytes: int,
         t0 = rt.env.now
         yield from rt.memcpy_async(dst, src, nbytes)
         yield from rt.stream_synchronize(sync_device)
+        # the cell window the trace analyzer attributes phases within
+        obs_runtime.current().tracer.complete(
+            "cs.memcpy", "benchmarks", t0, rt.env.now, nbytes=nbytes,
+        )
         return rt.env.now - t0
 
     return rt.run(host())

@@ -28,6 +28,7 @@ from ...mpisim.protocols import (
 )
 from ...mpisim.transport import BufferKind
 from ...mpisim.world import MpiWorld, RankContext
+from ...obs import runtime as obs_runtime
 from ...sim.random import NOISE_LATENCY, NoiseModel
 
 
@@ -83,6 +84,11 @@ def measure_pingpong(
         for _ in range(total):
             yield from ctx.send(1, nbytes, buffer)
             yield from ctx.recv(1)
+        # the cell window the trace analyzer attributes phases within
+        obs_runtime.current().tracer.complete(
+            "osu.pingpong", "benchmarks", t0, ctx.env.now,
+            nbytes=nbytes, iterations=total,
+        )
         return (ctx.env.now - t0) / (2 * total)
 
     def rank1(ctx: RankContext):

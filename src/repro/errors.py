@@ -102,3 +102,15 @@ class ObservabilityError(RuntimeError):
     Deliberately *not* a :class:`ReproError`: these are programming
     bugs in instrumentation, and the resilient study runner must never
     swallow one into a degraded table cell."""
+
+
+class TraceAnalysisError(ReproError, ValueError):
+    """A recorded trace or metrics artifact could not be interpreted
+    (malformed Chrome ``trace_event`` JSON, unknown phase, no cell
+    window).  Unlike :class:`ObservabilityError` this concerns *data*
+    read back from disk, so it is a :class:`ReproError`."""
+
+
+class BenchDataError(ReproError, ValueError):
+    """A benchmark-trajectory file (``BENCH_*.json``) is malformed or
+    incompatible with the current schema."""

@@ -126,6 +126,25 @@ def build_artifacts(study: Study | None = None, curves: bool = True) -> Artifact
             json.dumps(metrics_snapshot(ctx.metrics), indent=1,
                        sort_keys=True),
         )
+
+        from ..obs.analyze import attribute_cells, render_attribution
+        from ..obs.analyze.reader import ReadSpan
+
+        spans = [
+            ReadSpan(name=r.name, category=r.category, timeline="sim",
+                     begin=r.sim_begin, end=r.sim_end)
+            for r in ctx.tracer.span_records()
+            if r.sim_begin is not None
+        ]
+        attributions = attribute_cells(spans)
+        if attributions:
+            bundle.add(
+                "obs/attribution.json",
+                json.dumps([a.to_json() for a in attributions], indent=1,
+                           sort_keys=True),
+            )
+            bundle.add("obs/attribution.txt",
+                       render_attribution(attributions))
     return bundle
 
 

@@ -1,0 +1,373 @@
+"""``repro bench``: the performance-regression harness.
+
+Runs a small, fixed roster of *bench targets* — direct discrete-event
+microbenchmarks plus one full study slice — ``--repeats`` times each
+under a fresh observability context, and records per target:
+
+* the **simulated** latencies (``sim.*``, deterministic given the seed
+  — these gate the exit code),
+* host ``wall_seconds`` and the profiler's ``events_per_sec``
+  (machine-dependent, advisory only),
+
+as mean/std/n into a ``BENCH_*.json`` trajectory file (schema
+``repro.bench/v1``; see :mod:`repro.obs.analyze.baseline`).  The first
+repeat's trace additionally yields the per-cell phase-attribution
+digest and the span-vs-counter cross-check.
+
+Against ``--baseline`` the run is compared metric-by-metric (Welch's
+t-test + relative-error threshold); exit codes:
+
+* 0 — no gating metric regressed;
+* 3 — comparison incomplete (missing targets/metrics, degraded runs);
+* 4 — at least one gating metric regressed (named on stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.resilience import Degraded
+from ..core.results import Statistic
+from ..errors import ReproError, SimulationError
+from ..faults import FaultPlan, get_profile, make_injector
+from ..obs import runtime as obs_runtime
+from ..obs.analyze import (
+    BenchRun,
+    MetricStat,
+    PhaseAttribution,
+    TargetRecord,
+    TraceDocument,
+    attribute_cells,
+    compare_runs,
+    cross_check_counters,
+    load_bench,
+    render_attribution,
+    render_comparison,
+    render_run,
+    save_bench,
+)
+from ..obs.export import chrome_trace, metrics_snapshot
+from ..obs.runtime import ObsContext
+from ..sim.random import RandomStreams
+
+#: exit status when a gating metric regressed against the baseline
+EXIT_REGRESSED = 4
+#: exit status when the comparison is incomplete (missing/degraded)
+EXIT_INCOMPLETE = 3
+
+#: event budget per direct microbenchmark run (same watchdog idea as
+#: StudyConfig.cell_max_events)
+_MAX_EVENTS = 5_000_000
+
+#: at most this many cell digests are persisted per target
+_MAX_ATTRIBUTIONS = 8
+
+
+@dataclass
+class TargetOutcome:
+    """One repeat of one target: sim metric values, or a degradation."""
+
+    metrics: dict[str, float]
+    degraded: bool = False
+
+
+def _osu_pingpong(machine_name: str, nbytes: int) -> Callable:
+    def run(seed: int, plan: Optional[FaultPlan]) -> TargetOutcome:
+        from ..benchmarks.osu.latency import measure_pingpong
+        from ..machines.registry import get_machine
+        from ..mpisim.placement import on_socket_pair
+        from ..mpisim.transport import BufferKind
+
+        machine = get_machine(machine_name)
+        injector = make_injector(plan, RandomStreams(seed), scope="bench")
+        latency = measure_pingpong(
+            machine, on_socket_pair(machine), nbytes, BufferKind.HOST,
+            injector=injector, max_events=_MAX_EVENTS,
+        )
+        return TargetOutcome({"sim.latency_us": latency * 1e6})
+
+    return run
+
+
+def _memcpy_h2d(machine_name: str, nbytes: int) -> Callable:
+    def run(seed: int, plan: Optional[FaultPlan]) -> TargetOutcome:
+        from ..benchmarks.commscope.memcpy_tests import memcpy_pinned_to_gpu
+        from ..machines.registry import get_machine
+
+        measurement = memcpy_pinned_to_gpu(get_machine(machine_name), nbytes)
+        return TargetOutcome({"sim.h2d_us": measurement.seconds * 1e6})
+
+    return run
+
+
+def _launch(machine_name: str) -> Callable:
+    def run(seed: int, plan: Optional[FaultPlan]) -> TargetOutcome:
+        from ..benchmarks.commscope.launch import launch_latency
+        from ..machines.registry import get_machine
+
+        seconds = launch_latency(get_machine(machine_name))
+        return TargetOutcome({"sim.launch_us": seconds * 1e6})
+
+    return run
+
+
+def _table4_slice(machine_name: str, runs: int) -> Callable:
+    def run(seed: int, plan: Optional[FaultPlan]) -> TargetOutcome:
+        from ..core.study import Study, StudyConfig
+        from ..core.tables import build_table4
+        from ..machines.registry import get_machine
+
+        study = Study(StudyConfig(runs=runs, seed=seed, faults=plan))
+        row = build_table4(study, machines=[get_machine(machine_name)])[0]
+        metrics: dict[str, float] = {}
+        degraded = False
+        for field_name, stat in (
+            ("on_socket_us", row.on_socket),
+            ("on_node_us", row.on_node),
+        ):
+            if isinstance(stat, Degraded):
+                degraded = True
+                continue
+            metrics[f"sim.table4.{field_name}"] = stat.mean
+        return TargetOutcome(metrics, degraded=degraded)
+
+    return run
+
+
+#: the bench roster: deterministic microbenchmarks spanning the MPI
+#: eager path, the rendezvous path, the GPU DMA path, the launch path
+#: and one full study slice through the resilient cell machinery
+BENCH_TARGETS: dict[str, Callable] = {
+    "osu/sawtooth/on-socket-0b": _osu_pingpong("sawtooth", 0),
+    "osu/sawtooth/on-socket-1mb": _osu_pingpong("sawtooth", 1 << 20),
+    "commscope/frontier/h2d-128b": _memcpy_h2d("frontier", 128),
+    "commscope/summit/launch": _launch("summit"),
+    "study/table4-sawtooth": _table4_slice("sawtooth", runs=5),
+}
+
+
+@dataclass
+class BenchResult:
+    """Everything one bench invocation produced."""
+
+    run: BenchRun
+    attributions: list[PhaseAttribution]
+    findings: list[str]
+
+
+def _first_repeat_analysis(
+    ctx: ObsContext,
+) -> tuple[list[PhaseAttribution], list[str]]:
+    """Phase attribution + span/counter cross-check from a live context."""
+    doc = TraceDocument.from_dict(chrome_trace(ctx.tracer))
+    attributions = attribute_cells(doc.sim_spans(), doc.cell_windows())
+    snapshot = metrics_snapshot(ctx.metrics)["instruments"]
+    findings = cross_check_counters(
+        doc.span_names(), snapshot, dropped=doc.dropped
+    )
+    return attributions, findings
+
+
+def run_bench(
+    repeats: int,
+    seed: int,
+    faults: str = "none",
+    targets: Optional[list[str]] = None,
+) -> BenchResult:
+    """Run the roster ``repeats`` times and aggregate the trajectory.
+
+    Each repeat runs under its own fresh observability context (with
+    the profiler armed) and a fresh, identically-seeded injector, so a
+    deterministic simulation yields identical repeats — the property
+    the zero-variance Welch handling in the comparator relies on.
+    """
+    plan = get_profile(faults)
+    if plan.is_null():
+        plan = None
+    roster = dict(BENCH_TARGETS)
+    if targets is not None:
+        unknown = sorted(set(targets) - set(roster))
+        if unknown:
+            raise ReproError(
+                f"unknown bench target(s) {unknown}; "
+                f"known: {sorted(roster)}"
+            )
+        roster = {name: roster[name] for name in targets}
+
+    run = BenchRun(repeats=repeats, seed=seed,
+                   faults=faults if plan is not None else "none")
+    all_attributions: list[PhaseAttribution] = []
+    all_findings: list[str] = []
+    for target_name, target_fn in roster.items():
+        samples: dict[str, list[float]] = {}
+        walls: list[float] = []
+        events_rates: list[float] = []
+        degraded = False
+        attributions: list[PhaseAttribution] = []
+        for repeat in range(repeats):
+            ctx = ObsContext.create(profile=True)
+            with obs_runtime.observability(ctx):
+                t_start = time.perf_counter()
+                try:
+                    outcome = target_fn(seed, plan)
+                except SimulationError as exc:
+                    outcome = TargetOutcome({}, degraded=True)
+                    all_findings.append(
+                        f"{target_name}: repeat {repeat} degraded: {exc}"
+                    )
+                walls.append(time.perf_counter() - t_start)
+            degraded = degraded or outcome.degraded
+            for name, value in outcome.metrics.items():
+                samples.setdefault(name, []).append(value)
+            report = ctx.profiler.report()
+            if report.total_host_seconds > 0:
+                events_rates.append(report.events_per_second)
+            if repeat == 0:
+                attributions, findings = _first_repeat_analysis(ctx)
+                all_findings.extend(
+                    f"{target_name}: {finding}" for finding in findings
+                )
+        record = TargetRecord(degraded=degraded)
+        for name, values in samples.items():
+            if len(values) < repeats:
+                # a metric missing from some repeats (degradation) must
+                # not masquerade as a clean trajectory
+                degraded = record.degraded = True
+                continue
+            stat = Statistic.from_samples(values)
+            record.metrics[name] = MetricStat(
+                mean=stat.mean, std=stat.std, n=stat.n, unit="us",
+                better="lower", gate=True,
+            )
+        record.metrics["wall_seconds"] = _advisory(walls, "s", "lower")
+        if events_rates:
+            record.metrics["events_per_sec"] = _advisory(
+                events_rates, "1/s", "higher"
+            )
+        record.attribution = [
+            a.to_json() for a in attributions[:_MAX_ATTRIBUTIONS]
+        ]
+        all_attributions.extend(attributions[:_MAX_ATTRIBUTIONS])
+        run.targets[target_name] = record
+    return BenchResult(run=run, attributions=all_attributions,
+                       findings=all_findings)
+
+
+def _advisory(values: list[float], unit: str, better: str) -> MetricStat:
+    stat = Statistic.from_samples(values)
+    return MetricStat(mean=stat.mean, std=stat.std, n=stat.n, unit=unit,
+                      better=better, gate=False)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def bench_main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="doe-microbench bench",
+        description="Measure the bench-target roster and gate against a "
+                    "recorded baseline (exit 4 on regression).",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="repeats per target (default: 5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20230612, help="root RNG seed"
+    )
+    parser.add_argument(
+        "--faults", type=str, default="none", metavar="PROFILE",
+        help="fault-injection profile for the bench workloads",
+    )
+    parser.add_argument(
+        "--baseline", type=str, default="", metavar="FILE",
+        help="compare against this BENCH_*.json; exit 4 on regression",
+    )
+    parser.add_argument(
+        "--out", type=str, default="", metavar="FILE",
+        help="write this run's trajectory to FILE (BENCH_<n>.json)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="overwrite --baseline with this run instead of gating",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.02,
+        help="relative-error threshold below which a delta is noise "
+             "(default: 0.02)",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="Welch's t-test significance level (default: 0.01)",
+    )
+    parser.add_argument(
+        "--targets", nargs="*", default=None, metavar="NAME",
+        help="restrict the roster to these targets",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress stderr notices; stdout is unchanged",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be >= 1: {args.repeats}")
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline")
+
+    def notice(text: str) -> None:
+        if not args.quiet and text:
+            print(text, file=sys.stderr)
+
+    try:
+        result = run_bench(
+            repeats=args.repeats, seed=args.seed, faults=args.faults,
+            targets=args.targets,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    print(render_run(result.run))
+    print()
+    print(render_attribution(result.attributions))
+    for finding in result.findings:
+        notice(f"cross-check: {finding}")
+
+    if args.out:
+        save_bench(args.out, result.run)
+        notice(f"wrote {args.out}")
+
+    exit_code = 0
+    if args.baseline and args.update_baseline:
+        save_bench(args.baseline, result.run)
+        notice(f"updated baseline {args.baseline}")
+    elif args.baseline:
+        try:
+            baseline = load_bench(args.baseline)
+        except ReproError as exc:
+            parser.error(str(exc))
+        comparison = compare_runs(
+            baseline, result.run,
+            threshold=args.threshold, alpha=args.alpha,
+        )
+        print()
+        print(render_comparison(comparison))
+        if comparison.regressed:
+            exit_code = EXIT_REGRESSED
+        elif comparison.missing():
+            exit_code = EXIT_INCOMPLETE
+    degraded = [
+        name for name, record in result.run.targets.items() if record.degraded
+    ]
+    if degraded and exit_code == 0:
+        notice(f"degraded target(s): {', '.join(degraded)}")
+        exit_code = EXIT_INCOMPLETE
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(bench_main())

@@ -391,11 +391,73 @@ def check_obs_profile_cli() -> list[Finding]:
     return out
 
 
+def check_obs_trace_reader() -> list[Finding]:
+    """Every record the exporter writes must read back losslessly: the
+    trace reader reconstructs the same span count, categories and cell
+    windows the live tracer held."""
+    from ..benchmarks.osu.latency import measure_pingpong
+    from ..machines.registry import get_machine
+    from ..mpisim.placement import on_socket_pair
+    from ..mpisim.transport import BufferKind
+    from ..obs import ObsContext, chrome_trace, runtime as obs
+    from ..obs.analyze import TraceDocument, attribute_cells
+
+    out = []
+    ctx = ObsContext.create(profile=False)
+    with obs.observability(ctx):
+        machine = get_machine("sawtooth")
+        measure_pingpong(machine, on_socket_pair(machine), 0, BufferKind.HOST)
+    live = ctx.tracer.span_records()
+    doc = TraceDocument.from_dict(chrome_trace(ctx.tracer))
+    if len(doc.spans) != len(live):
+        out.append(Finding("-", "obs",
+                           f"reader saw {len(doc.spans)} spans, "
+                           f"tracer held {len(live)}"))
+    live_cats = {r.category for r in live}
+    if doc.categories() != live_cats:
+        out.append(Finding("-", "obs",
+                           f"reader categories {sorted(doc.categories())} "
+                           f"!= tracer's {sorted(live_cats)}"))
+    windows = doc.cell_windows()
+    if not windows:
+        out.append(Finding("-", "obs", "no benchmark cell window in trace"))
+    else:
+        attribution = attribute_cells(doc.sim_spans(), windows)[0]
+        drift = abs(sum(attribution.phases.values()) - attribution.total)
+        if drift > 0.01 * max(attribution.total, 1e-30):
+            out.append(Finding("-", "obs",
+                               f"phase sum drifts {drift} from cell total"))
+    return out
+
+
+def check_obs_bench_gate() -> list[Finding]:
+    """The bench harness must find a self-comparison unchanged."""
+    from ..obs.analyze import compare_runs
+    from .bench import run_bench
+
+    out = []
+    result = run_bench(
+        repeats=1, seed=20230612, targets=["osu/sawtooth/on-socket-0b"]
+    )
+    if result.findings:
+        out.append(Finding("-", "obs",
+                           f"bench cross-check: {result.findings[0]}"))
+    comparison = compare_runs(result.run, result.run)
+    if comparison.regressed or comparison.missing():
+        out.append(Finding("-", "obs",
+                           "bench self-comparison not clean"))
+    if not result.attributions:
+        out.append(Finding("-", "obs", "bench produced no attribution"))
+    return out
+
+
 OBS_CHECKS = (
     check_obs_null_context,
     check_obs_span_roundtrip,
     check_obs_histogram_edges,
     check_obs_profile_cli,
+    check_obs_trace_reader,
+    check_obs_bench_gate,
 )
 
 
@@ -411,6 +473,7 @@ def render_obs_smoke(findings: list[Finding]) -> str:
     if not findings:
         return (
             f"obs smoke passed: {len(OBS_CHECKS)} check families "
-            f"(null context, span roundtrip, histogram edges, --profile CLI)"
+            f"(null context, span roundtrip, histogram edges, --profile CLI, "
+            f"trace reader, bench gate)"
         )
     return "\n".join(str(f) for f in findings)

@@ -1,0 +1,68 @@
+"""Analysis over recorded observability artifacts.
+
+Three pieces close the loop the exporters open:
+
+* :mod:`repro.obs.analyze.reader` — Chrome ``trace_event`` JSON back
+  into typed :class:`ReadSpan` records (:class:`TraceDocument`);
+* :mod:`repro.obs.analyze.critical_path` — exclusive per-phase latency
+  attribution of each benchmark cell window, plus the span-vs-counter
+  cross-check;
+* :mod:`repro.obs.analyze.baseline` — the ``BENCH_*.json`` baseline
+  store and its Welch-tested comparator (the ``repro bench`` gate).
+"""
+
+from .baseline import (
+    BENCH_SCHEMA,
+    BenchComparison,
+    BenchRun,
+    DEFAULT_ALPHA,
+    DEFAULT_THRESHOLD,
+    MetricComparison,
+    MetricStat,
+    TargetRecord,
+    compare_metric,
+    compare_runs,
+    load_bench,
+    save_bench,
+)
+from .critical_path import (
+    OVERHEAD_PHASE,
+    PhaseAttribution,
+    Segment,
+    SPAN_COUNTER_MAP,
+    attribute_cells,
+    attribute_window,
+    cross_check_counters,
+    phase_of,
+)
+from .reader import ReadInstant, ReadSpan, TraceDocument
+from .report import render_attribution, render_comparison, render_run
+
+__all__ = [
+    "TraceDocument",
+    "ReadSpan",
+    "ReadInstant",
+    "PhaseAttribution",
+    "Segment",
+    "OVERHEAD_PHASE",
+    "SPAN_COUNTER_MAP",
+    "phase_of",
+    "attribute_window",
+    "attribute_cells",
+    "cross_check_counters",
+    "BENCH_SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_ALPHA",
+    "MetricStat",
+    "TargetRecord",
+    "BenchRun",
+    "MetricComparison",
+    "BenchComparison",
+    "compare_metric",
+    "compare_runs",
+    "load_bench",
+    "save_bench",
+    "render_run",
+    "render_comparison",
+    "render_attribution",
+]

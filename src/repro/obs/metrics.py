@@ -125,15 +125,20 @@ class Histogram:
             self.max = value
 
     @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+    def mean(self) -> float | None:
+        """Mean of observed values; ``None`` before any observation."""
+        return self.total / self.count if self.count else None
 
-    def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (0 <= q <= 1)."""
+    def quantile(self, q: float) -> float | None:
+        """Bucket-resolution quantile estimate (0 <= q <= 1).
+
+        An empty histogram has no quantiles: returns ``None`` instead
+        of a fabricated 0.0 that would read as a real measurement.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile out of range: {q}")
         if self.count == 0:
-            return 0.0
+            return None
         rank = q * self.count
         cumulative = 0
         for idx, n in enumerate(self.counts):
@@ -145,7 +150,7 @@ class Histogram:
         return self.max
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "type": "histogram",
             "count": self.count,
             "mean": self.mean,
@@ -155,10 +160,14 @@ class Histogram:
                 **{f"le_{b:g}": n for b, n in zip(self.bounds, self.counts)},
                 "overflow": self.counts[-1],
             },
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
         }
+        if self.count:
+            # quantiles of an empty histogram don't exist; omitting the
+            # keys keeps JSON consumers from averaging fabricated zeros
+            out["p50"] = self.quantile(0.50)
+            out["p95"] = self.quantile(0.95)
+            out["p99"] = self.quantile(0.99)
+        return out
 
 
 class MetricsRegistry:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from contextlib import contextmanager
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import DeadlockError, SimulationError, WatchdogTimeout
@@ -36,12 +37,34 @@ def set_profiler(profiler) -> object:
     The hook must expose ``account(event, callbacks, host_dt)``; it is
     invoked once per processed event on *every* environment in the
     process, which is exactly what study-level profiling wants (each
-    benchmark execution builds private environments).
+    benchmark execution builds private environments, and ``repro
+    bench`` reuses the same hook for its events/sec trajectory).
     """
     global _PROFILER
+    if profiler is not None and not callable(
+        getattr(profiler, "account", None)
+    ):
+        # fail here, once, rather than inside step() on every event
+        raise SimulationError(
+            f"profiler hook {profiler!r} has no account() method"
+        )
     previous = _PROFILER
     _PROFILER = profiler
     return previous
+
+
+@contextmanager
+def profiled(profiler) -> "Generator[object, None, None]":
+    """Scoped :func:`set_profiler`: install for a block, always restore.
+
+    Exception-safe, so a simulation that dies mid-run cannot leak its
+    hook into the next benchmark's measurements.
+    """
+    previous = set_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_profiler(previous)
 
 
 class Event:

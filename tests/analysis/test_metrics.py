@@ -1,10 +1,17 @@
-"""Tests for error metrics."""
+"""Tests for error metrics and the Welch's t-test machinery."""
 
 import math
 
 import pytest
 
-from repro.analysis.metrics import ratio, relative_error, within_factor
+from repro.analysis.metrics import (
+    ratio,
+    regularized_incomplete_beta,
+    relative_error,
+    student_t_sf_two_sided,
+    welch_t_test,
+    within_factor,
+)
 
 
 class TestRelativeError:
@@ -46,3 +53,95 @@ class TestWithinFactor:
     def test_nonpositive_values(self):
         assert within_factor(0.0, 0.0, 2.0)
         assert not within_factor(0.0, 1.0, 2.0)
+
+
+class TestIncompleteBeta:
+    def test_endpoints(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_symmetric_midpoint(self):
+        # I_{1/2}(a, a) = 1/2 for any a
+        for a in (0.5, 1.0, 2.0, 7.5):
+            assert regularized_incomplete_beta(a, a, 0.5) == pytest.approx(0.5)
+
+    def test_uniform_case(self):
+        # I_x(1, 1) is the uniform CDF
+        assert regularized_incomplete_beta(1.0, 1.0, 0.3) == pytest.approx(0.3)
+
+    def test_known_value(self):
+        # I_x(2, 2) = x^2 (3 - 2x)
+        x = 0.7
+        assert regularized_incomplete_beta(2.0, 2.0, x) == pytest.approx(
+            x * x * (3 - 2 * x)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(1.0, 1.0, 1.5)
+
+
+class TestStudentT:
+    def test_t_zero_is_one(self):
+        assert student_t_sf_two_sided(0.0, 5.0) == pytest.approx(1.0)
+
+    def test_known_cauchy_quantile(self):
+        # df=1 is the Cauchy distribution: |t| = 1 -> p = 0.5
+        assert student_t_sf_two_sided(1.0, 1.0) == pytest.approx(0.5)
+
+    def test_large_t_vanishes(self):
+        assert student_t_sf_two_sided(50.0, 10.0) < 1e-10
+        assert student_t_sf_two_sided(math.inf, 10.0) == 0.0
+
+    def test_symmetric_in_sign(self):
+        assert student_t_sf_two_sided(-2.0, 7.0) == pytest.approx(
+            student_t_sf_two_sided(2.0, 7.0)
+        )
+
+    def test_classic_table_value(self):
+        # t = 2.571 at df = 5 is the classic two-sided 5% critical value
+        assert student_t_sf_two_sided(2.571, 5.0) == pytest.approx(
+            0.05, abs=2e-4
+        )
+
+
+class TestWelch:
+    def test_identical_samples_not_significant(self):
+        r = welch_t_test(10.0, 1.0, 5, 10.0, 1.0, 5)
+        assert r.t == 0.0
+        assert r.p_value == pytest.approx(1.0)
+        assert not r.significant()
+
+    def test_clear_separation_significant(self):
+        r = welch_t_test(10.0, 0.1, 10, 20.0, 0.1, 10)
+        assert r.p_value < 1e-6
+        assert r.significant()
+        assert r.t > 0  # b above a
+
+    def test_deterministic_zero_variance_equal(self):
+        r = welch_t_test(5.0, 0.0, 3, 5.0, 0.0, 3)
+        assert r.p_value == 1.0
+        assert not r.significant()
+
+    def test_deterministic_zero_variance_different(self):
+        r = welch_t_test(5.0, 0.0, 3, 6.0, 0.0, 3)
+        assert r.p_value == 0.0
+        assert r.significant()
+        assert math.isinf(r.t) and r.t > 0
+
+    def test_welch_satterthwaite_df(self):
+        # equal n and variance degenerates to the pooled df = 2n - 2
+        r = welch_t_test(0.0, 2.0, 8, 1.0, 2.0, 8)
+        assert r.df == pytest.approx(14.0)
+
+    def test_noise_swamps_delta(self):
+        r = welch_t_test(10.0, 5.0, 3, 11.0, 5.0, 3)
+        assert not r.significant()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            welch_t_test(0.0, 1.0, 0, 0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            welch_t_test(0.0, -1.0, 5, 0.0, 1.0, 5)

@@ -59,3 +59,34 @@ class TestWrite:
         table4 = next(p for p in paths if p.endswith("table4.txt"))
         with open(table4) as fh:
             assert "29. Trinity" in fh.read()
+
+
+class TestObsAttribution:
+    """With observability on, the bundle gains the phase digest."""
+
+    @pytest.fixture(scope="class")
+    def obs_bundle(self):
+        from repro.obs import ObsContext, runtime as obs
+
+        ctx = ObsContext.create()
+        with obs.observability(ctx):
+            return build_artifacts(
+                Study(StudyConfig(runs=2, seed=1)), curves=False
+            )
+
+    def test_attribution_files_present(self, obs_bundle):
+        assert "obs/attribution.json" in obs_bundle.files
+        assert "obs/attribution.txt" in obs_bundle.files
+        assert "obs/metrics.json" in obs_bundle.files
+
+    def test_attribution_phases_sum_to_cells(self, obs_bundle):
+        import json
+
+        cells = json.loads(obs_bundle.files["obs/attribution.json"])
+        assert {c["cell"] for c in cells} >= {"osu.pingpong"}
+        for cell in cells:
+            drift = abs(sum(cell["phases_us"].values()) - cell["total_us"])
+            assert drift <= 0.01 * cell["total_us"]
+
+    def test_obs_off_bundle_has_no_obs_files(self, bundle):
+        assert not [p for p in bundle.files if p.startswith("obs/")]

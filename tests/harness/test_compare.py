@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.tables import build_table4, build_table5, build_table6
+from repro.core.resilience import DEGRADED_MARK, Degraded
+from repro.core.tables import Table4Row, build_table4, build_table5, build_table6
 from repro.harness.compare import (
     ComparisonRow,
     compare_table4,
@@ -76,3 +77,63 @@ class TestRendering:
     def test_worst_needs_rows(self):
         with pytest.raises(ValueError):
             worst_relative_error([])
+
+
+class TestDegradedCells:
+    """Regression: degraded cells must render as —†, not vanish."""
+
+    @staticmethod
+    def _degraded():
+        return Degraded(label="sawtooth/osu", reason="node failure",
+                        attempts=3)
+
+    def _rows_with_degraded(self, fast_study):
+        table = build_table4(fast_study)
+        wounded = Table4Row(
+            machine=table[0].machine,
+            rank=table[0].rank,
+            single=table[0].single,
+            all_threads=table[0].all_threads,
+            peak_label=table[0].peak_label,
+            on_socket=self._degraded(),
+            on_node=table[0].on_node,
+        )
+        return compare_table4([wounded] + table[1:])
+
+    def test_degraded_cell_kept_with_marker(self, fast_study):
+        rows = self._rows_with_degraded(fast_study)
+        # still one row per cell: 5 machines x 4 metrics
+        assert len(rows) == 20
+        degraded = [r for r in rows if r.degraded]
+        assert len(degraded) == 1
+        assert degraded[0].metric == "on-socket us"
+        cells = degraded[0].cells()
+        assert cells[4] == DEGRADED_MARK and cells[5] == DEGRADED_MARK
+
+    def test_degraded_cell_has_no_rel_error(self):
+        row = ComparisonRow("T4", "X", "m", 10.0, self._degraded())
+        with pytest.raises(ValueError, match="no relative error"):
+            row.rel_error
+
+    def test_degraded_excluded_from_worst(self, fast_study):
+        rows = self._rows_with_degraded(fast_study)
+        worst = worst_relative_error(rows)
+        assert not worst.degraded
+        assert worst.rel_error < 0.05
+
+    def test_all_degraded_raises(self):
+        rows = [ComparisonRow("T4", "X", "m", 10.0, self._degraded())]
+        with pytest.raises(ValueError):
+            worst_relative_error(rows)
+
+    def test_render_footnotes_degraded(self, fast_study):
+        rows = self._rows_with_degraded(fast_study)
+        text = render_comparison(rows)
+        assert DEGRADED_MARK in text
+        assert "degraded under fault injection" in text
+        md = render_comparison(rows, markdown=True)
+        assert DEGRADED_MARK in md
+
+    def test_clean_render_has_no_footnote(self, fast_study):
+        text = render_comparison(compare_table4(build_table4(fast_study)))
+        assert "degraded under fault injection" not in text

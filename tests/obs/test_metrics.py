@@ -86,11 +86,37 @@ class TestHistogramEdges:
         assert h.count == 2
         assert h.mean == 3.0
 
-    def test_empty_histogram_snapshot(self):
+    def test_empty_histogram_snapshot_omits_quantiles(self):
         snap = Histogram("t.empty", bounds=(1.0,)).snapshot()
         assert snap["count"] == 0
         assert snap["min"] is None and snap["max"] is None
-        assert snap["p95"] == 0.0
+        assert snap["mean"] is None
+        # nonexistent quantiles are omitted, not fabricated as 0.0
+        assert "p50" not in snap and "p95" not in snap and "p99" not in snap
+
+    def test_empty_histogram_quantile_is_none(self):
+        h = Histogram("t.empty", bounds=(1.0,))
+        assert h.quantile(0.0) is None
+        assert h.quantile(0.5) is None
+        assert h.quantile(1.0) is None
+        assert h.mean is None
+        # out-of-range q still raises, empty or not
+        with pytest.raises(ObservabilityError):
+            h.quantile(-0.1)
+
+    def test_empty_histogram_snapshot_is_json_ready(self):
+        import json
+
+        json.dumps(Histogram("t.empty", bounds=(1.0,)).snapshot())
+
+    def test_quantiles_reappear_after_first_observation(self):
+        h = Histogram("t.lazy", bounds=(1.0,))
+        assert h.quantile(0.5) is None
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["p50"] == 1.0
+        assert h.quantile(0.5) == 1.0
+        assert h.mean == 0.5
 
     def test_bounds_must_increase(self):
         with pytest.raises(ObservabilityError, match="strictly increasing"):

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.engine import AllOf, AnyOf, Environment, Interrupt
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    profiled,
+    set_profiler,
+)
 
 
 class TestClock:
@@ -261,3 +268,56 @@ class TestInterrupt:
         env.run(proc)
         with pytest.raises(SimulationError):
             proc.interrupt()
+
+
+class TestProfilerHook:
+    """The profiler hook: validated on install, scoped via profiled()."""
+
+    class _Hook:
+        def __init__(self):
+            self.events = 0
+
+        def account(self, event, callbacks, host_dt):
+            self.events += 1
+
+    def test_bad_hook_rejected_at_install(self):
+        with pytest.raises(SimulationError, match="no account"):
+            set_profiler(object())
+        # the broken install must not have clobbered the slot
+        assert set_profiler(None) is None
+
+    def test_profiled_scopes_and_restores(self):
+        hook = self._Hook()
+        with profiled(hook):
+            env = Environment()
+            env.timeout(1.0)
+            env.run()
+        assert hook.events > 0
+        before = hook.events
+        env = Environment()
+        env.timeout(1.0)
+        env.run()
+        assert hook.events == before  # uninstalled after the block
+
+    def test_profiled_restores_on_simulation_error(self):
+        hook = self._Hook()
+
+        def boom(env):
+            yield env.timeout(0.5)
+            raise SimulationError("mid-run failure")
+
+        with pytest.raises(SimulationError):
+            with profiled(hook):
+                env = Environment()
+                env.process(boom(env))
+                env.run()
+        assert set_profiler(None) is None
+
+    def test_profiled_nests(self):
+        outer, inner = self._Hook(), self._Hook()
+        with profiled(outer):
+            with profiled(inner):
+                env = Environment()
+                env.timeout(1.0)
+                env.run()
+            assert inner.events > 0 and outer.events == 0
