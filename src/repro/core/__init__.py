@@ -7,6 +7,7 @@ Table 7 ranges; :mod:`~repro.core.figures` renders the node diagrams of
 Figures 1-3.
 """
 
+from .parallel import CellOutcome, CellScheduler, CellTask, resolve_jobs
 from .resilience import DEGRADED_MARK, Degraded, ResilienceLog
 from .results import Statistic
 from .spec import ExperimentSpec, all_experiments, get_experiment
@@ -26,6 +27,10 @@ from .summary import Table7Row, build_table7, render_table7
 from .figures import render_node_ascii, render_node_dot, figure_for
 
 __all__ = [
+    "CellOutcome",
+    "CellScheduler",
+    "CellTask",
+    "resolve_jobs",
     "DEGRADED_MARK",
     "Degraded",
     "ResilienceLog",

@@ -1,0 +1,286 @@
+"""Parallel study execution: cell decomposition, fan-out, merge.
+
+The paper's outer protocol is embarrassingly parallel — 13 machines x
+{BabelStream, OSU, Comm|Scope} cells, each an independent bundle of
+binary executions — yet it must stay *bit-deterministic*: the whole
+point of the reproduction is that a table regenerates identically every
+time.  This module reconciles the two:
+
+* a :class:`CellTask` names one benchmark cell (machine x metric) by
+  registry key, so tasks pickle as a few strings;
+* :func:`execute_cell` runs one task in a worker process: it rebuilds
+  the study from the (picklable) config, derives every random stream
+  from ``(study seed, cell path)`` via the stable hash in
+  :mod:`repro.sim.random` — no sequential stream state crosses cells —
+  and captures the complete cell outcome (statistic or degraded
+  marker, resilience entries, tracer records, metric deltas, profiler
+  counts) in a picklable :class:`CellOutcome`;
+* :class:`CellScheduler` fans tasks out on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and caches the
+  outcomes; the owning :class:`~repro.core.study.Study` then *consumes*
+  outcomes in the order its builders request cells — roster order —
+  so the resilience log, every ``study.*``/``sim.*`` metric, the trace
+  ring and the rendered tables are byte-identical at any jobs count.
+
+Determinism contract (DESIGN.md 5e): result values depend only on
+``(seed, cell)``; merge effects depend only on consumption order, which
+the builders fix; host wall-times are the only fields that vary run to
+run, and every consumer treats them as advisory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..benchmarks.osu.runner import PairKind
+from ..errors import BenchmarkConfigError
+from ..machines.registry import (
+    CPU_MACHINE_NAMES,
+    GPU_MACHINE_NAMES,
+    get_machine,
+)
+from ..obs import runtime as obs
+from ..obs.runtime import NULL_CONTEXT, ObsContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .study import Study, StudyConfig
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Map the ``jobs`` knob to a worker count (0 = all cores)."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# tasks
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellTask:
+    """One benchmark cell, named portably (registry key + method).
+
+    ``machine`` is the lowercase registry key; ``method`` is the
+    :class:`~repro.core.study.Study` method to call; ``variant``
+    selects within it ("single"/"all" for the CPU BabelStream cell,
+    the :class:`PairKind` value for host latency, empty otherwise).
+    """
+
+    machine: str
+    method: str
+    variant: str = ""
+
+    def label(self) -> tuple[str, ...]:
+        """The exact label ``Study._cell`` runs this cell under."""
+        name = get_machine(self.machine).name
+        if self.method == "cpu_bandwidth":
+            return (name, "babelstream-cpu", self.variant)
+        if self.method == "gpu_bandwidth":
+            return (name, "babelstream-gpu")
+        if self.method == "host_latency":
+            return (name, "osu", self.variant)
+        if self.method == "device_latency":
+            return (name, "osu", "device")
+        if self.method == "commscope":
+            return (name, "cs")
+        raise BenchmarkConfigError(f"unknown cell method: {self.method!r}")
+
+    def run_on(self, study: "Study") -> Any:
+        """Execute this cell on ``study`` (inside a worker process)."""
+        machine = get_machine(self.machine)
+        if self.method == "cpu_bandwidth":
+            return study.cpu_bandwidth(machine, self.variant == "single")
+        if self.method == "gpu_bandwidth":
+            return study.gpu_bandwidth(machine)
+        if self.method == "host_latency":
+            return study.host_latency(machine, PairKind(self.variant))
+        if self.method == "device_latency":
+            return study.device_latency(machine)
+        if self.method == "commscope":
+            return study.commscope(machine)
+        raise BenchmarkConfigError(f"unknown cell method: {self.method!r}")
+
+
+def plan_tasks(group: str) -> tuple[CellTask, ...]:
+    """Every cell the table builders can request for one machine class.
+
+    ``group`` is ``"cpu"`` (Table 4 cells) or ``"gpu"`` (Table 5/6
+    cells).  Order is roster order — informational only, since merge
+    order is fixed by consumption, not completion.
+    """
+    tasks: list[CellTask] = []
+    if group == "cpu":
+        for key in CPU_MACHINE_NAMES:
+            tasks.append(CellTask(key, "cpu_bandwidth", "single"))
+            tasks.append(CellTask(key, "cpu_bandwidth", "all"))
+            tasks.append(CellTask(key, "host_latency", PairKind.ON_SOCKET.value))
+            tasks.append(CellTask(key, "host_latency", PairKind.ON_NODE.value))
+    elif group == "gpu":
+        for key in GPU_MACHINE_NAMES:
+            tasks.append(CellTask(key, "gpu_bandwidth"))
+            tasks.append(CellTask(key, "host_latency", PairKind.ON_SOCKET.value))
+            tasks.append(CellTask(key, "device_latency"))
+            tasks.append(CellTask(key, "commscope"))
+    else:
+        raise BenchmarkConfigError(f"unknown task group: {group!r}")
+    return tuple(tasks)
+
+
+# ---------------------------------------------------------------------------
+# outcomes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CellOutcome:
+    """Everything one cell produced, in picklable form.
+
+    ``result`` is the statistic bundle (or :class:`Degraded` marker)
+    the builder needs; the remaining fields are the observability and
+    resilience side effects the serial path would have written into
+    shared state, captured so the parent can replay them at merge
+    time.
+    """
+
+    task: CellTask
+    result: Any
+    degraded: list = field(default_factory=list)
+    records: list = field(default_factory=list)
+    tracer_origin: float = 0.0
+    tracer_dropped: int = 0
+    metrics_state: Optional[dict] = None
+    profiler_state: Optional[dict] = None
+    wall_seconds: float = 0.0
+
+
+def execute_cell(
+    config: "StudyConfig",
+    task: CellTask,
+    obs_enabled: bool,
+    profile: bool,
+) -> CellOutcome:
+    """Run one cell in isolation (the worker-process entry point).
+
+    The worker rebuilds a serial :class:`Study` from the config — its
+    streams and fault injector re-derive every generator from
+    ``(seed, path)``, so no state from sibling cells can leak in — and
+    runs the cell through the exact ``_cell`` machinery the serial path
+    uses: bounded retries stay inside the worker, the cell span and
+    ``study.cell.*`` counters land in the worker's own context, and the
+    whole bundle ships home as one :class:`CellOutcome`.
+    """
+    from .study import Study
+
+    started = time.perf_counter()
+    study = Study(replace(config, jobs=1))
+    ctx = (
+        ObsContext.create(profile=profile, record_values=True)
+        if obs_enabled else NULL_CONTEXT
+    )
+    with obs.observability(ctx):
+        result = task.run_on(study)
+    return CellOutcome(
+        task=task,
+        result=result,
+        degraded=list(study.resilience.entries),
+        records=ctx.tracer.records() if obs_enabled else [],
+        tracer_origin=ctx.tracer.wall_origin if obs_enabled else 0.0,
+        tracer_dropped=ctx.tracer.dropped if obs_enabled else 0,
+        metrics_state=ctx.metrics.dump_state() if obs_enabled else None,
+        profiler_state=(
+            ctx.profiler.dump_state() if profile and ctx.profiler else None
+        ),
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the scheduler
+# ---------------------------------------------------------------------------
+
+class CellScheduler:
+    """Fans study cells out to worker processes; serves cached outcomes.
+
+    Scheduling is lazy and grouped: the first request for a CPU-class
+    cell computes *all* CPU-roster cells in one pool pass (likewise for
+    the GPU roster), so a ``table4`` run never pays for Comm|Scope and
+    a ``table6`` run never pays for the OpenMP sweeps.  Only registry
+    machines participate — a custom machine object falls back to the
+    serial in-process path (returning ``None`` from :meth:`lookup`).
+    """
+
+    def __init__(self, config: "StudyConfig") -> None:
+        self.config = config
+        self.jobs = resolve_jobs(config.jobs)
+        self._outcomes: dict[tuple[str, ...], CellOutcome] = {}
+        self._groups_done: set[str] = set()
+        #: advisory metadata: host wall time per executed cell label
+        self.cell_wall_seconds: dict[str, float] = {}
+        #: advisory metadata: host wall time per scheduled group pass
+        self.group_wall_seconds: dict[str, float] = {}
+
+    # -- group scheduling --------------------------------------------------
+    @staticmethod
+    def _group_of(machine) -> Optional[str]:
+        """The task group of a machine, or None if it's not the
+        registry's own instance (same name but mutated copies must not
+        hit the cache)."""
+        key = machine.name.strip().lower()
+        if key in CPU_MACHINE_NAMES:
+            group = "cpu"
+        elif key in GPU_MACHINE_NAMES:
+            group = "gpu"
+        else:
+            return None
+        if get_machine(key) is not machine:
+            return None
+        return group
+
+    def _run_group(self, group: str) -> None:
+        ctx = obs.current()
+        obs_enabled = bool(ctx.enabled)
+        profile = ctx.profiler is not None
+        tasks = plan_tasks(group)
+        config = replace(self.config, jobs=1)
+        started = time.perf_counter()
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(execute_cell, config, task, obs_enabled, profile)
+                for task in tasks
+            ]
+            outcomes = [future.result() for future in futures]
+        self.group_wall_seconds[group] = time.perf_counter() - started
+        for outcome in outcomes:
+            label = outcome.task.label()
+            self._outcomes[label] = outcome
+            self.cell_wall_seconds["/".join(label)] = outcome.wall_seconds
+        self._groups_done.add(group)
+
+    # -- the study-facing API ----------------------------------------------
+    def lookup(self, machine, label: tuple[str, ...]) -> Optional[CellOutcome]:
+        """The outcome for one cell, scheduling its group on first need.
+
+        Returns ``None`` when the cell is outside the scheduler's remit
+        (non-registry machine, unknown label) — the study then runs it
+        in-process exactly as a serial study would.
+        """
+        group = self._group_of(machine)
+        if group is None:
+            return None
+        if group not in self._groups_done:
+            self._run_group(group)
+        return self._outcomes.get(tuple(label))
+
+    def stats(self) -> dict:
+        """Advisory execution metadata (host-dependent; never gated on)."""
+        return {
+            "jobs": self.jobs,
+            "cells": len(self.cell_wall_seconds),
+            "cell_wall_seconds": dict(self.cell_wall_seconds),
+            "group_wall_seconds": dict(self.group_wall_seconds),
+        }

@@ -64,6 +64,16 @@ class ResilienceLog:
     def record(self, entry: Degraded) -> None:
         self.entries.append(entry)
 
+    def extend(self, entries: list[Degraded]) -> None:
+        """Merge a worker cell's degraded entries, preserving order.
+
+        The per-cell retry loop runs *inside* the worker process; only
+        its outcome travels back, so the parent merges whole-cell entry
+        lists in consumption order and ends up with the same log a
+        serial run would have written.
+        """
+        self.entries.extend(entries)
+
     @property
     def degraded_count(self) -> int:
         return len(self.entries)

@@ -47,6 +47,7 @@ from ..sim.random import (
     NoiseModel,
     RandomStreams,
 )
+from .parallel import CellScheduler, resolve_jobs
 from .resilience import Degraded, ResilienceLog, degraded_in, run_cell
 from .results import Statistic
 
@@ -75,10 +76,20 @@ class StudyConfig:
     cell_max_events: int | None = 5_000_000
     #: explicit osu_latency sweep sizes (None = upstream power-of-two set)
     latency_sweep_sizes: tuple[int, ...] | None = None
+    #: worker processes for benchmark cells (1 = serial, 0 = all cores)
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.runs, int) or self.runs < 1:
             raise BenchmarkConfigError(f"runs must be an int >= 1: {self.runs!r}")
+        if (
+            not isinstance(self.jobs, int)
+            or isinstance(self.jobs, bool)
+            or self.jobs < 0
+        ):
+            raise BenchmarkConfigError(
+                f"jobs must be an int >= 0 (0 = all cores): {self.jobs!r}"
+            )
         if not isinstance(self.seed, int):
             raise BenchmarkConfigError(f"seed must be an int: {self.seed!r}")
         for name in ("cpu_array_bytes", "gpu_array_bytes"):
@@ -139,6 +150,12 @@ class Study:
     the sweep.  Straggler faults perturb the per-execution samples; in
     ``exact`` mode the transport faults additionally run through the
     discrete-event protocol itself (drop -> retransmit machinery).
+
+    With ``config.jobs`` > 1 (or 0 = all cores) registry-machine cells
+    execute on a process pool via :class:`~repro.core.parallel
+    .CellScheduler` and are merged back in request order; results,
+    resilience log, traces and metrics are byte-identical to the serial
+    path at any jobs count (DESIGN.md 5e).
     """
 
     def __init__(self, config: StudyConfig | None = None) -> None:
@@ -148,6 +165,11 @@ class Study:
         #: is what keeps ``--faults none`` byte-identical to pre-fault runs
         self.injector = make_injector(self.config.faults, self.streams)
         self.resilience = ResilienceLog()
+        #: fans cells out to worker processes when ``jobs`` resolves to
+        #: more than one; ``None`` keeps the exact serial code path
+        self.scheduler = None
+        if resolve_jobs(self.config.jobs) > 1:
+            self.scheduler = CellScheduler(self.config)
 
     # ------------------------------------------------------------------
     # helpers
@@ -161,14 +183,39 @@ class Study:
             samples = self.injector.perturb_samples(samples, *path, kind=kind)
         return samples
 
-    def _cell(self, fn, *label: str):
+    def _sim_injector(self, *label: str):
+        """The injector handed into a cell's discrete-event simulations.
+
+        Scoped per cell (stable hash of the cell label) so the sim-level
+        fault draws — message drops keyed by rank pair, GPU faults keyed
+        by device — are independent of which cells ran earlier.  Without
+        this, exact-mode fault streams would be sequential across cells
+        and serial/parallel runs could not agree.
+        """
+        if self.injector is None:
+            return None
+        return self.injector.for_cell(*label)
+
+    def _cell(self, fn, *label: str, machine: Machine | None = None):
         """Run one benchmark cell resiliently (bounded retries, degrade).
 
         With observability active the cell runs inside a ``study`` span
         carrying the cell label and outcome (degraded, attempts), and
         bumps the ``study.cell.*`` counters; with the null context this
         is a shared no-op span.
+
+        With a parallel scheduler armed (``config.jobs`` > 1) the cell
+        is served from the scheduler's precomputed outcomes instead:
+        the result, resilience entries, span records and metric deltas
+        the worker captured are merged here, at consumption time, so
+        every side effect lands in the same order the serial loop would
+        have produced it.  Cells the scheduler does not cover (custom
+        machine objects) fall through to the in-process path.
         """
+        if self.scheduler is not None and machine is not None:
+            outcome = self.scheduler.lookup(machine, label)
+            if outcome is not None:
+                return self._consume(outcome)
         ctx = obs.current()
         with ctx.tracer.span("/".join(label), "study") as span:
             result = run_cell(
@@ -192,6 +239,39 @@ class Study:
                 ctx.metrics.counter("study.cell.completed").inc()
         return result
 
+    def _consume(self, outcome) -> object:
+        """Merge one worker-computed cell outcome into this study.
+
+        Mirrors, in order, every side effect the in-process path has:
+        degraded entries append to the resilience log, the worker's
+        tracer ring (cell span included) is absorbed, metric deltas
+        replay into the live registry and profiler counts accumulate.
+        Consumption order is the builders' request order — the same
+        order the serial loop executes cells in — which is what makes
+        the merge deterministic at any jobs count.
+        """
+        self.resilience.extend(outcome.degraded)
+        ctx = obs.current()
+        if ctx.enabled:
+            if outcome.records or outcome.tracer_dropped:
+                ctx.tracer.absorb(
+                    outcome.records,
+                    wall_origin=outcome.tracer_origin,
+                    dropped=outcome.tracer_dropped,
+                )
+            if outcome.metrics_state is not None:
+                ctx.metrics.merge_state(outcome.metrics_state)
+            if outcome.profiler_state is not None and ctx.profiler is not None:
+                ctx.profiler.merge_state(outcome.profiler_state)
+        return outcome.result
+
+    def parallel_stats(self) -> dict | None:
+        """Advisory scheduler metadata (jobs, per-cell wall times), or
+        ``None`` on the serial path.  Host-dependent; never gated on."""
+        if self.scheduler is None:
+            return None
+        return self.scheduler.stats()
+
     # ------------------------------------------------------------------
     # BabelStream
     # ------------------------------------------------------------------
@@ -203,6 +283,7 @@ class Study:
         return self._cell(
             lambda: self._cpu_bandwidth(machine, single_thread),
             machine.name, "babelstream-cpu", label,
+            machine=machine,
         )
 
     def _cpu_bandwidth(self, machine: Machine, single_thread: bool) -> Statistic:
@@ -233,6 +314,7 @@ class Study:
         return self._cell(
             lambda: self._gpu_bandwidth(machine),
             machine.name, "babelstream-gpu",
+            machine=machine,
         )
 
     def _gpu_bandwidth(self, machine: Machine) -> Statistic:
@@ -262,16 +344,18 @@ class Study:
         return self._cell(
             lambda: self._host_latency(machine, kind),
             machine.name, "osu", kind.value,
+            machine=machine,
         )
 
     def _host_latency(self, machine: Machine, kind: PairKind) -> Statistic:
         budget = self.config.cell_max_events
         if self.config.exact:
             rng = self.streams.get(machine.name, "osu", kind.value)
+            injector = self._sim_injector(machine.name, "osu", kind.value)
             samples = [
                 latency_for_pair(
                     machine, kind, rng=rng,
-                    injector=self.injector, max_events=budget,
+                    injector=injector, max_events=budget,
                 ).latency
                 for _ in range(self.config.runs)
             ]
@@ -288,17 +372,19 @@ class Study:
         return self._cell(
             lambda: self._device_latency(machine),
             machine.name, "osu", "device",
+            machine=machine,
         )
 
     def _device_latency(self, machine: Machine) -> dict[LinkClass, Statistic]:
         budget = self.config.cell_max_events
         if self.config.exact:
             rng = self.streams.get(machine.name, "osu", "device")
+            injector = self._sim_injector(machine.name, "osu", "device")
             acc: dict[LinkClass, list[float]] = {}
             for _ in range(self.config.runs):
                 by_class = device_latency_by_class(
                     machine, rng=rng,
-                    injector=self.injector, max_events=budget,
+                    injector=injector, max_events=budget,
                 )
                 for cls, res in by_class.items():
                     acc.setdefault(cls, []).append(res.latency)
@@ -319,7 +405,10 @@ class Study:
     # ------------------------------------------------------------------
     def commscope(self, machine: Machine) -> CommScopeStats | Degraded:
         """Table 6 row for one machine."""
-        return self._cell(lambda: self._commscope(machine), machine.name, "cs")
+        return self._cell(
+            lambda: self._commscope(machine), machine.name, "cs",
+            machine=machine,
+        )
 
     def _commscope(self, machine: Machine) -> CommScopeStats:
         if self.config.exact:

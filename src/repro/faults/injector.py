@@ -64,6 +64,21 @@ class FaultInjector:
         """A sibling injector whose draws are independent of this one's."""
         return FaultInjector(self.plan, self.streams, scope=scope)
 
+    def for_cell(self, *label: str) -> "FaultInjector":
+        """The injector one benchmark cell's *simulations* run under.
+
+        Scoping by the cell label re-seeds every sim-level hook (message
+        drops, stragglers, GPU faults) from ``(study seed, cell)`` via
+        the stable path hash, instead of continuing the shared
+        sequential draw state of the study-wide injector.  That makes a
+        cell's faults a pure function of the cell — independent of
+        which cells ran before it — which is exactly the property the
+        parallel scheduler needs for ``--faults`` to compose with
+        ``--jobs``: a worker process rebuilding this scope reproduces
+        the serial cell's faults event for event.
+        """
+        return self.scoped("/".join(label))
+
     @property
     def active(self) -> bool:
         return not self.plan.is_null()

@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.resilience import Degraded
@@ -69,10 +69,16 @@ _MAX_ATTRIBUTIONS = 8
 
 @dataclass
 class TargetOutcome:
-    """One repeat of one target: sim metric values, or a degradation."""
+    """One repeat of one target: sim metric values, or a degradation.
+
+    ``advisory`` carries host-dependent execution metadata (parallel
+    worker count, per-cell wall times) that is recorded with
+    ``gate=False`` so baselines stay host-portable.
+    """
 
     metrics: dict[str, float]
     degraded: bool = False
+    advisory: dict[str, float] = field(default_factory=dict)
 
 
 def _osu_pingpong(machine_name: str, nbytes: int) -> Callable:
@@ -115,13 +121,14 @@ def _launch(machine_name: str) -> Callable:
     return run
 
 
-def _table4_slice(machine_name: str, runs: int) -> Callable:
+def _table4_slice(machine_name: str, runs: int, jobs: int = 1) -> Callable:
     def run(seed: int, plan: Optional[FaultPlan]) -> TargetOutcome:
         from ..core.study import Study, StudyConfig
         from ..core.tables import build_table4
         from ..machines.registry import get_machine
 
-        study = Study(StudyConfig(runs=runs, seed=seed, faults=plan))
+        study = Study(StudyConfig(runs=runs, seed=seed, faults=plan,
+                                  jobs=jobs))
         row = build_table4(study, machines=[get_machine(machine_name)])[0]
         metrics: dict[str, float] = {}
         degraded = False
@@ -133,7 +140,18 @@ def _table4_slice(machine_name: str, runs: int) -> Callable:
                 degraded = True
                 continue
             metrics[f"sim.table4.{field_name}"] = stat.mean
-        return TargetOutcome(metrics, degraded=degraded)
+        outcome = TargetOutcome(metrics, degraded=degraded)
+        stats = study.parallel_stats()
+        if stats is not None:
+            # host-dependent, never gated: worker count and cell walls
+            walls = list(stats["cell_wall_seconds"].values())
+            outcome.advisory = {
+                "parallel.workers": float(stats["jobs"]),
+                "parallel.cell_wall_mean_s":
+                    sum(walls) / len(walls) if walls else 0.0,
+                "parallel.cell_wall_max_s": max(walls) if walls else 0.0,
+            }
+        return outcome
 
     return run
 
@@ -177,6 +195,7 @@ def run_bench(
     seed: int,
     faults: str = "none",
     targets: Optional[list[str]] = None,
+    jobs: int = 1,
 ) -> BenchResult:
     """Run the roster ``repeats`` times and aggregate the trajectory.
 
@@ -184,11 +203,21 @@ def run_bench(
     the profiler armed) and a fresh, identically-seeded injector, so a
     deterministic simulation yields identical repeats — the property
     the zero-variance Welch handling in the comparator relies on.
+
+    ``jobs != 1`` runs the study slice through the parallel cell
+    scheduler: the gating ``sim.*`` metrics are byte-identical to the
+    serial run (the determinism contract), and worker count plus
+    per-cell wall times are recorded as extra advisory (``gate=False``)
+    metrics, so baselines remain host-portable either way.
     """
     plan = get_profile(faults)
     if plan.is_null():
         plan = None
     roster = dict(BENCH_TARGETS)
+    if jobs != 1:
+        roster["study/table4-sawtooth"] = _table4_slice(
+            "sawtooth", runs=5, jobs=jobs
+        )
     if targets is not None:
         unknown = sorted(set(targets) - set(roster))
         if unknown:
@@ -204,6 +233,7 @@ def run_bench(
     all_findings: list[str] = []
     for target_name, target_fn in roster.items():
         samples: dict[str, list[float]] = {}
+        advisory_samples: dict[str, list[float]] = {}
         walls: list[float] = []
         events_rates: list[float] = []
         degraded = False
@@ -223,6 +253,8 @@ def run_bench(
             degraded = degraded or outcome.degraded
             for name, value in outcome.metrics.items():
                 samples.setdefault(name, []).append(value)
+            for name, value in outcome.advisory.items():
+                advisory_samples.setdefault(name, []).append(value)
             report = ctx.profiler.report()
             if report.total_host_seconds > 0:
                 events_rates.append(report.events_per_second)
@@ -247,6 +279,12 @@ def run_bench(
         if events_rates:
             record.metrics["events_per_sec"] = _advisory(
                 events_rates, "1/s", "higher"
+            )
+        for name, values in advisory_samples.items():
+            record.metrics[name] = _advisory(
+                values,
+                "s" if "wall" in name else "workers",
+                "lower" if "wall" in name else "higher",
             )
         record.attribution = [
             a.to_json() for a in attributions[:_MAX_ATTRIBUTIONS]
@@ -285,6 +323,12 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
         help="fault-injection profile for the bench workloads",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the study-slice target (1 = serial, "
+             "0 = all cores); sim.* metrics are identical at any value, "
+             "worker count and cell walls are recorded as advisory",
+    )
+    parser.add_argument(
         "--baseline", type=str, default="", metavar="FILE",
         help="compare against this BENCH_*.json; exit 4 on regression",
     )
@@ -316,6 +360,8 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error(f"--repeats must be >= 1: {args.repeats}")
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = all cores): {args.jobs}")
     if args.update_baseline and not args.baseline:
         parser.error("--update-baseline requires --baseline")
 
@@ -326,7 +372,7 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
     try:
         result = run_bench(
             repeats=args.repeats, seed=args.seed, faults=args.faults,
-            targets=args.targets,
+            targets=args.targets, jobs=args.jobs,
         )
     except ReproError as exc:
         parser.error(str(exc))

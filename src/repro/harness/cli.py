@@ -14,6 +14,8 @@ Usage::
     python -m repro table4 --profile     # per-subsystem event-loop profile
     python -m repro table6 --trace-out t.json --metrics-out m.json
     python -m repro selfcheck --obs smoke   # observability smoke test
+    python -m repro table4 --jobs 4      # parallel cells, identical bytes
+    python -m repro selfcheck --parallel   # serial-vs-parallel digest check
     python -m repro bench --repeats 5 --out BENCH_1.json
     python -m repro bench --baseline BENCH_baseline.json   # exit 4 on regression
 
@@ -127,7 +129,13 @@ def _print_table9() -> str:
     return "\n".join(lines)
 
 
-def run_target(target: str, study: Study, *, obs_smoke: bool = False) -> str:
+def run_target(
+    target: str,
+    study: Study,
+    *,
+    obs_smoke: bool = False,
+    parallel_smoke: bool = False,
+) -> str:
     """Produce the output text for one CLI target."""
     if target == "table1":
         return _print_table1()
@@ -170,20 +178,27 @@ def run_target(target: str, study: Study, *, obs_smoke: bool = False) -> str:
 
         return render_selfcheck(run_selfcheck())
     if target == "selfcheck":
-        return _run_selfcheck_target(study, obs_smoke=obs_smoke)
+        return _run_selfcheck_target(
+            study, obs_smoke=obs_smoke, parallel_smoke=parallel_smoke
+        )
     raise ValueError(f"unknown target: {target}")
 
 
-def _run_selfcheck_target(study: Study, obs_smoke: bool = False) -> str:
+def _run_selfcheck_target(
+    study: Study, obs_smoke: bool = False, parallel_smoke: bool = False
+) -> str:
     """``selfcheck``: structural checks, plus the fault smoke suite
-    whenever a fault plan is armed (``--faults smoke`` in CI) and the
-    observability smoke suite under ``--obs smoke``."""
+    whenever a fault plan is armed (``--faults smoke`` in CI), the
+    observability smoke suite under ``--obs smoke``, and the
+    parallel-equivalence smoke suite under ``--parallel``."""
     from .selfcheck import (
         render_fault_smoke,
         render_obs_smoke,
+        render_parallel_smoke,
         render_selfcheck,
         run_fault_smoke,
         run_obs_smoke,
+        run_parallel_smoke,
         run_selfcheck,
     )
 
@@ -192,6 +207,8 @@ def _run_selfcheck_target(study: Study, obs_smoke: bool = False) -> str:
         parts.append(render_fault_smoke(run_fault_smoke()))
     if obs_smoke:
         parts.append(render_obs_smoke(run_obs_smoke()))
+    if parallel_smoke:
+        parts.append(render_parallel_smoke(run_parallel_smoke()))
     return "\n".join(parts)
 
 
@@ -295,6 +312,11 @@ def main(argv: list[str] | None = None) -> int:
              "(default: 2)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for benchmark cells (1 = serial, 0 = all "
+             "cores); output is byte-identical at any value",
+    )
+    parser.add_argument(
         "--output", type=str, default="",
         help="write the (last) target's output to this file as well",
     )
@@ -317,6 +339,11 @@ def main(argv: list[str] | None = None) -> int:
         help="observability smoke suite selector for the selfcheck target",
     )
     parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the parallel-equivalence smoke suite under the "
+             "selfcheck target",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress all stderr reports (resilience, profile, file "
              "notices); stdout is unchanged",
@@ -330,7 +357,7 @@ def main(argv: list[str] | None = None) -> int:
         plan = get_profile(args.faults)
         study = Study(StudyConfig(
             runs=args.runs, seed=args.seed, exact=args.exact,
-            faults=plan, max_retries=args.max_retries,
+            faults=plan, max_retries=args.max_retries, jobs=args.jobs,
         ))
     except ReproError as exc:
         parser.error(str(exc))
@@ -361,7 +388,11 @@ def main(argv: list[str] | None = None) -> int:
                 wrote_bundle = True
                 print(f"==> artifacts ({len(written)} files under {directory})")
                 continue
-            text = run_target(target, study, obs_smoke=args.obs == "smoke")
+            text = run_target(
+                target, study,
+                obs_smoke=args.obs == "smoke",
+                parallel_smoke=args.parallel,
+            )
             print(f"==> {target}")
             print(text)
             print()

@@ -477,3 +477,108 @@ def render_obs_smoke(findings: list[Finding]) -> str:
             f"trace reader, bench gate)"
         )
     return "\n".join(str(f) for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# parallel-equivalence smoke checks: ``python -m repro selfcheck --parallel``
+# ---------------------------------------------------------------------------
+
+def check_parallel_jobs_knob() -> list[Finding]:
+    """The jobs knob must validate early and resolve 0 to the core count."""
+    from ..core.parallel import resolve_jobs
+    from ..core.study import StudyConfig
+    from ..errors import BenchmarkConfigError
+
+    out = []
+    if resolve_jobs(0) < 1:
+        out.append(Finding("-", "parallel", "jobs=0 resolved below 1"))
+    if resolve_jobs(3) != 3:
+        out.append(Finding("-", "parallel", "jobs=3 did not resolve to 3"))
+    for bad in (-1, 1.5, True):
+        try:
+            StudyConfig(runs=2, jobs=bad)
+        except BenchmarkConfigError:
+            continue
+        out.append(Finding("-", "parallel",
+                           f"jobs={bad!r} accepted by StudyConfig"))
+    return out
+
+
+def check_parallel_digest() -> list[Finding]:
+    """A serial and a 2-worker study must produce identical table text,
+    resilience logs and metrics snapshots (the determinism contract)."""
+    import hashlib
+
+    from ..core.study import Study, StudyConfig
+    from ..core.tables import build_table4, render_table4
+    from ..faults import get_profile
+    from ..obs import ObsContext, metrics_snapshot, runtime as obs
+
+    def digest(jobs: int) -> str:
+        ctx = ObsContext.create()
+        with obs.observability(ctx):
+            study = Study(StudyConfig(
+                runs=2, seed=77, jobs=jobs, faults=get_profile("chaos"),
+            ))
+            text = render_table4(build_table4(study))
+        payload = "\n".join([
+            text,
+            study.resilience.summary(),
+            repr(sorted(metrics_snapshot(ctx.metrics).items())),
+        ])
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    serial, parallel = digest(1), digest(2)
+    if serial != parallel:
+        return [Finding("-", "parallel",
+                        f"serial digest {serial[:12]} != "
+                        f"2-worker digest {parallel[:12]}")]
+    return []
+
+
+def check_parallel_scheduler_stats() -> list[Finding]:
+    """A parallel study must expose advisory wall-time metadata for
+    every cell it actually scheduled."""
+    from ..core.study import Study, StudyConfig
+    from ..core.tables import build_table4
+
+    study = Study(StudyConfig(runs=2, seed=77, jobs=2))
+    build_table4(study)
+    stats = study.parallel_stats()
+    out = []
+    if stats is None:
+        return [Finding("-", "parallel", "parallel study reported no stats")]
+    if stats["jobs"] != 2:
+        out.append(Finding("-", "parallel",
+                           f"stats jobs {stats['jobs']} != 2"))
+    if stats["cells"] != 20:
+        out.append(Finding("-", "parallel",
+                           f"CPU roster scheduled {stats['cells']} cells, "
+                           f"expected 20"))
+    if any(w < 0 for w in stats["cell_wall_seconds"].values()):
+        out.append(Finding("-", "parallel", "negative cell wall time"))
+    return out
+
+
+PARALLEL_CHECKS = (
+    check_parallel_jobs_knob,
+    check_parallel_digest,
+    check_parallel_scheduler_stats,
+)
+
+
+def run_parallel_smoke() -> list[Finding]:
+    """Exercise the parallel scheduler end to end; empty list = healthy."""
+    findings: list[Finding] = []
+    for check in PARALLEL_CHECKS:
+        findings.extend(check())
+    return findings
+
+
+def render_parallel_smoke(findings: list[Finding]) -> str:
+    if not findings:
+        return (
+            f"parallel smoke passed: {len(PARALLEL_CHECKS)} check families "
+            f"(jobs knob, serial-vs-parallel digest, scheduler stats)"
+        )
+    return "\n".join(str(f) for f in findings)

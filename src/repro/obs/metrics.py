@@ -96,7 +96,8 @@ class Histogram:
     overflow bucket, the maximum observed value.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max",
+                 "values")
 
     def __init__(self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
         self.name = name
@@ -114,6 +115,10 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: raw observations, kept only by recording registries (the
+        #: parallel-worker path) so a merge can *replay* them and land
+        #: on bit-identical floating-point totals
+        self.values: list | None = None
 
     def observe(self, value: float) -> None:
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
@@ -123,6 +128,8 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self.values is not None:
+            self.values.append(value)
 
     @property
     def mean(self) -> float | None:
@@ -171,17 +178,29 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Live instrument registry, one object per validated name."""
+    """Live instrument registry, one object per validated name.
+
+    With ``record_values=True`` every histogram additionally retains
+    its raw observations so :meth:`dump_state` can ship them across a
+    process boundary; :meth:`merge_state` on the receiving registry
+    replays them in order, which keeps float accumulation (``total``,
+    and therefore ``mean``) bit-identical to a registry that observed
+    the same values directly.  Parallel study workers record; the
+    parent merges.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, record_values: bool = False) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._record_values = record_values
 
     def _get(self, name: str, cls, *args):
         instrument = self._instruments.get(name)
         if instrument is None:
             instrument = cls(validate_name(name), *args)
+            if self._record_values and cls is Histogram:
+                instrument.values = []
             self._instruments[name] = instrument
         elif type(instrument) is not cls:
             raise ObservabilityError(
@@ -216,6 +235,64 @@ class MetricsRegistry:
             name: self._instruments[name].snapshot()
             for name in sorted(self._instruments)
         }
+
+    # -- process-boundary merge (the parallel study path) ------------------
+    def dump_state(self) -> dict:
+        """A picklable, mergeable image of every instrument.
+
+        Counters and gauges travel as their value; histograms travel as
+        their bounds plus the raw observation list (requires a registry
+        built with ``record_values=True`` — a populated histogram that
+        never recorded cannot be merged losslessly, so dumping one is
+        an error rather than a silent approximation).
+        """
+        state: dict[str, dict] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                state[name] = {"kind": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                state[name] = {"kind": "gauge", "value": instrument.value}
+            else:
+                if instrument.values is None and instrument.count:
+                    raise ObservabilityError(
+                        f"histogram {name!r} holds {instrument.count} "
+                        "observations but the registry was not built with "
+                        "record_values=True; its state cannot be merged "
+                        "losslessly"
+                    )
+                state[name] = {
+                    "kind": "histogram",
+                    "bounds": instrument.bounds,
+                    "values": list(instrument.values or ()),
+                }
+        return state
+
+    def merge_state(self, state: dict) -> None:
+        """Fold one :meth:`dump_state` image into this registry.
+
+        Counter deltas add (integer increments, so addition is exact),
+        gauges adopt the incoming final value (last merge wins — the
+        same "last mutation wins" a serial run exhibits when outcomes
+        are merged in execution order), histogram observations replay
+        one by one so bucket counts *and* float totals match a serial
+        registry bit for bit.
+        """
+        for name, entry in state.items():
+            kind = entry["kind"]
+            if kind == "counter":
+                counter = self.counter(name)
+                if entry["value"]:
+                    counter.inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(name, bounds=entry["bounds"])
+                for value in entry["values"]:
+                    histogram.observe(value)
+            else:
+                raise ObservabilityError(
+                    f"unknown instrument kind {kind!r} for {name!r}"
+                )
 
 
 class _NullInstrument:

@@ -116,6 +116,37 @@ class SimProfiler:
         self.total_callbacks += len(callbacks)
         self.total_host_seconds += host_dt
 
+    # -- process-boundary merge (the parallel study path) ------------------
+    def dump_state(self) -> dict:
+        """A picklable image of the accumulated attribution."""
+        return {
+            "subsystems": {
+                name: (stats.events, stats.callbacks, stats.host_seconds)
+                for name, stats in self.subsystems.items()
+            },
+            "total_events": self.total_events,
+            "total_callbacks": self.total_callbacks,
+            "total_host_seconds": self.total_host_seconds,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker profiler's :meth:`dump_state` into this one.
+
+        Event and callback counts add exactly; host seconds add as
+        floats (they are advisory, host-dependent figures — the bench
+        gate never gates on them).
+        """
+        for name, (events, callbacks, host_seconds) in state["subsystems"].items():
+            stats = self.subsystems.get(name)
+            if stats is None:
+                stats = self.subsystems[name] = SubsystemStats()
+            stats.events += events
+            stats.callbacks += callbacks
+            stats.host_seconds += host_seconds
+        self.total_events += state["total_events"]
+        self.total_callbacks += state["total_callbacks"]
+        self.total_host_seconds += state["total_host_seconds"]
+
     # -- reporting ---------------------------------------------------------
     def report(self) -> ProfileReport:
         return ProfileReport(

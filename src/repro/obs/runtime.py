@@ -39,10 +39,17 @@ class ObsContext:
         cls,
         profile: bool = False,
         capacity: Optional[int] = DEFAULT_CAPACITY,
+        record_values: bool = False,
     ) -> "ObsContext":
         """A fully-armed context; canonical counters are pre-declared so
-        every metrics snapshot carries the whole instrument taxonomy."""
-        metrics = MetricsRegistry()
+        every metrics snapshot carries the whole instrument taxonomy.
+
+        ``record_values=True`` makes histograms retain raw observations
+        so the whole context is *mergeable* — the configuration a
+        parallel study worker runs under (see
+        :meth:`MetricsRegistry.dump_state`).
+        """
+        metrics = MetricsRegistry(record_values=record_values)
         metrics.declare(DECLARED_COUNTERS)
         return cls(
             tracer=Tracer(capacity=capacity),

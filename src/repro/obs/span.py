@@ -198,6 +198,47 @@ class Tracer:
 
         self._keep(TraceEvent(sim_time, category, label, attrs or {}))
 
+    def absorb(
+        self,
+        records: list,
+        *,
+        wall_origin: Optional[float] = None,
+        dropped: int = 0,
+    ) -> None:
+        """Append records captured by another tracer (a worker process).
+
+        The parallel study scheduler ships each worker's ring back to
+        the parent and merges cells in roster order; ``absorb`` is that
+        merge.  Span records are copied (never aliased — one outcome
+        may be absorbed more than once when a table is rebuilt) and
+        their host wall-times rebased from the worker's origin onto
+        this tracer's, so relative timing stays meaningful; simulated
+        times are absolute and travel untouched.  The donor's drop
+        count folds into ours, and capacity accounting applies to the
+        absorbed records exactly as if they had been recorded locally.
+        """
+        offset = 0.0
+        if wall_origin is not None:
+            offset = self.wall_origin - wall_origin
+        for record in records:
+            if isinstance(record, SpanRecord):
+                record = SpanRecord(
+                    name=record.name,
+                    category=record.category,
+                    wall_begin=record.wall_begin + offset,
+                    wall_end=(
+                        None if record.wall_end is None
+                        else record.wall_end + offset
+                    ),
+                    sim_begin=record.sim_begin,
+                    sim_end=record.sim_end,
+                    depth=record.depth,
+                    attrs=dict(record.attrs),
+                )
+            self._keep(record)
+        if dropped:
+            self.dropped += dropped
+
     # -- scoped views ------------------------------------------------------
     def with_clock(self, clock: Callable[[], float]) -> "ClockedTracer":
         """A view of this tracer whose spans also record simulated time."""
@@ -294,6 +335,10 @@ class NullTracer:
 
     def instant(self, sim_time: float, category: str, label: str,
                 attrs: Optional[dict] = None) -> None:
+        return None
+
+    def absorb(self, records: list, *, wall_origin: Optional[float] = None,
+               dropped: int = 0) -> None:
         return None
 
     def with_clock(self, clock: Callable[[], float]) -> "NullTracer":

@@ -19,6 +19,19 @@ class TestConfig:
         with pytest.raises(BenchmarkConfigError):
             StudyConfig(runs=0)
 
+    def test_jobs_default_is_serial(self):
+        assert StudyConfig().jobs == 1
+        assert Study(StudyConfig(runs=2)).scheduler is None
+
+    @pytest.mark.parametrize("bad", [-1, -7, 1.5, 2.0, "2", None, True])
+    def test_invalid_jobs_rejected(self, bad):
+        with pytest.raises(BenchmarkConfigError):
+            StudyConfig(runs=2, jobs=bad)
+
+    @pytest.mark.parametrize("ok", [0, 1, 2, 16])
+    def test_valid_jobs_accepted(self, ok):
+        assert StudyConfig(runs=2, jobs=ok).jobs == ok
+
 
 class TestStatistics:
     def test_sample_count_matches_runs(self, fast_study, sawtooth):

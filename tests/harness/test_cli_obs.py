@@ -33,6 +33,18 @@ class TestByteIdentity:
         assert code_a == code_b == 0
         assert flagged == base
 
+    @pytest.mark.parallel
+    def test_obs_flags_with_jobs_leave_stdout_identical(self, capsys, tmp_path):
+        code_a, base = _stdout(capsys, ["table4", "table6"] + FAST)
+        code_b, flagged = _stdout(capsys, [
+            "table4", "table6", *FAST, "--jobs", "2",
+            "--trace-out", str(tmp_path / "t.json"),
+            "--metrics-out", str(tmp_path / "m.json"),
+            "--profile", "--quiet",
+        ])
+        assert code_a == code_b == 0
+        assert flagged == base
+
     def test_quiet_silences_stderr_entirely(self, capsys, tmp_path):
         main(["table4", *FAST, "--profile", "--quiet",
               "--trace-out", str(tmp_path / "t.json")])

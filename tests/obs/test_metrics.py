@@ -149,6 +149,83 @@ class TestRegistry:
         assert len(reg) == 2
 
 
+class TestStateMerge:
+    """The process-boundary merge contract the parallel scheduler uses."""
+
+    def test_counter_deltas_add_exactly(self):
+        worker = MetricsRegistry()
+        worker.counter("mpisim.send.eager").inc(7)
+        worker.declare(["faults.injected.drop"])  # zero counter travels too
+        parent = MetricsRegistry()
+        parent.counter("mpisim.send.eager").inc(3)
+        parent.merge_state(worker.dump_state())
+        assert parent.counter("mpisim.send.eager").value == 10
+        # zero-valued counters still register (full taxonomy in snapshots)
+        assert parent.counter("faults.injected.drop").value == 0
+
+    def test_histogram_replay_is_bit_identical(self):
+        values = [0.1, 0.2, 0.30000000000000004, 7.5, 1e-9]
+        worker = MetricsRegistry(record_values=True)
+        for v in values:
+            worker.histogram("t.merge.h", bounds=(1.0, 10.0)).observe(v)
+        parent = MetricsRegistry()
+        parent.merge_state(worker.dump_state())
+        direct = Histogram("t.merge.h", bounds=(1.0, 10.0))
+        for v in values:
+            direct.observe(v)
+        assert parent.histogram("t.merge.h").snapshot() == direct.snapshot()
+        assert parent.histogram("t.merge.h").total == direct.total
+
+    def test_merge_order_replays_serial_accumulation(self):
+        # two workers merged in consumption order == one serial registry
+        # observing both value sequences in that order
+        a = MetricsRegistry(record_values=True)
+        b = MetricsRegistry(record_values=True)
+        for v in (1.0, 2.0):
+            a.histogram("t.order.h", bounds=(4.0,)).observe(v)
+        for v in (3.0, 0.5):
+            b.histogram("t.order.h", bounds=(4.0,)).observe(v)
+        parent = MetricsRegistry()
+        parent.merge_state(a.dump_state())
+        parent.merge_state(b.dump_state())
+        serial = Histogram("t.order.h", bounds=(4.0,))
+        for v in (1.0, 2.0, 3.0, 0.5):
+            serial.observe(v)
+        assert parent.histogram("t.order.h").snapshot() == serial.snapshot()
+
+    def test_unrecorded_populated_histogram_refuses_to_dump(self):
+        reg = MetricsRegistry()  # record_values=False
+        reg.histogram("t.norec.h", bounds=(1.0,)).observe(0.5)
+        with pytest.raises(ObservabilityError, match="record_values"):
+            reg.dump_state()
+
+    def test_empty_unrecorded_histogram_dumps_fine(self):
+        reg = MetricsRegistry()
+        reg.histogram("t.norec.empty", bounds=(1.0,))
+        state = reg.dump_state()
+        assert state["t.norec.empty"]["values"] == []
+
+    def test_state_is_picklable(self):
+        import pickle
+
+        reg = MetricsRegistry(record_values=True)
+        reg.counter("a.b.c").inc()
+        reg.gauge("d.e.f").set(2.5)
+        reg.histogram("g.h.i", bounds=(1.0,)).observe(0.5)
+        state = pickle.loads(pickle.dumps(reg.dump_state()))
+        parent = MetricsRegistry()
+        parent.merge_state(state)
+        assert parent.counter("a.b.c").value == 1
+        assert parent.gauge("d.e.f").value == 2.5
+        assert parent.histogram("g.h.i").count == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown instrument"):
+            MetricsRegistry().merge_state(
+                {"x.y.z": {"kind": "exotic", "value": 1}}
+            )
+
+
 class TestNullMetrics:
     def test_shared_noop_instrument(self):
         assert NULL_METRICS.counter("any.name") is NULL_INSTRUMENT

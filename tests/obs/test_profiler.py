@@ -1,6 +1,6 @@
 """The sim profiler: engine hook, per-subsystem attribution, report."""
 
-from repro.obs import ObsContext, SimProfiler
+from repro.obs import ObsContext, SimProfiler, SubsystemStats
 from repro.obs import runtime as obs
 from repro.sim.engine import Environment
 
@@ -85,3 +85,51 @@ class TestHookLifecycle:
             env_prof = Environment()
             _pingpong(env_prof)
         assert env_prof.now == env_plain.now
+
+
+class TestStateMerge:
+    """The worker merge: counts add exactly, host seconds are advisory."""
+
+    def test_merge_matches_combined_run(self):
+        a, b = SimProfiler(), SimProfiler()
+        ctx = ObsContext.create(profile=True)
+        ctx.profiler = a
+        with obs.observability(ctx):
+            _pingpong(Environment())
+        ctx.profiler = b
+        with obs.observability(ctx):
+            _pingpong(Environment(), hops=3)
+        parent = SimProfiler()
+        parent.merge_state(a.dump_state())
+        parent.merge_state(b.dump_state())
+        assert parent.total_events == a.total_events + b.total_events
+        assert parent.total_callbacks == a.total_callbacks + b.total_callbacks
+        for name, stats in parent.subsystems.items():
+            assert stats.events == (
+                a.subsystems.get(name, SubsystemStats()).events
+                + b.subsystems.get(name, SubsystemStats()).events
+            )
+
+    def test_state_is_picklable(self):
+        import pickle
+
+        profiler = SimProfiler()
+        ctx = ObsContext.create(profile=True)
+        ctx.profiler = profiler
+        with obs.observability(ctx):
+            _pingpong(Environment())
+        state = pickle.loads(pickle.dumps(profiler.dump_state()))
+        parent = SimProfiler()
+        parent.merge_state(state)
+        assert parent.total_events == profiler.total_events
+
+    def test_merge_into_empty_creates_subsystems(self):
+        parent = SimProfiler()
+        parent.merge_state({
+            "subsystems": {"mpisim": (10, 12, 0.5)},
+            "total_events": 10,
+            "total_callbacks": 12,
+            "total_host_seconds": 0.5,
+        })
+        assert parent.subsystems["mpisim"].events == 10
+        assert parent.report().events_per_second == 20.0

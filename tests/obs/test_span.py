@@ -151,3 +151,74 @@ class TestNullTracer:
         assert len(NULL_TRACER) == 0
         assert NULL_TRACER.records() == []
         assert NULL_TRACER.with_clock(lambda: 0.0) is NULL_TRACER
+
+
+class TestAbsorb:
+    """The worker-ring merge the parallel study scheduler performs."""
+
+    def _donor(self):
+        from repro.obs.span import Tracer as T
+
+        donor = T()
+        with donor.span("cell", "study", machine="sawtooth"):
+            donor.complete("xfer", "netsim", 3.0, 7.0, nbytes=64)
+        donor.instant(1.0, "mpisim", "match")
+        return donor
+
+    def test_absorb_copies_records(self):
+        donor = self._donor()
+        parent = Tracer()
+        parent.absorb(donor.records(), wall_origin=donor.wall_origin)
+        assert len(parent) == len(donor)
+        donor_spans = donor.span_records()
+        parent_spans = parent.span_records()
+        for mine, theirs in zip(parent_spans, donor_spans):
+            assert mine is not theirs
+            assert mine.attrs == theirs.attrs
+            assert mine.attrs is not theirs.attrs
+
+    def test_sim_times_travel_untouched(self):
+        donor = self._donor()
+        parent = Tracer()
+        parent.absorb(donor.records(), wall_origin=donor.wall_origin)
+        xfer = [r for r in parent.span_records() if r.name == "xfer"][0]
+        assert (xfer.sim_begin, xfer.sim_end) == (3.0, 7.0)
+        [event] = parent.events()
+        assert event.time == 1.0
+
+    def test_wall_times_rebase_onto_parent_origin(self):
+        donor = self._donor()
+        parent = Tracer()
+        parent.absorb(donor.records(), wall_origin=donor.wall_origin)
+        offset = parent.wall_origin - donor.wall_origin
+        for mine, theirs in zip(parent.span_records(), donor.span_records()):
+            assert mine.wall_begin == theirs.wall_begin + offset
+            assert mine.wall_duration == pytest.approx(theirs.wall_duration)
+
+    def test_double_absorb_is_idempotent_per_call(self):
+        # a rebuilt table consumes the same outcome twice; each absorb
+        # must re-copy from the pristine worker records, not mutate them
+        donor = self._donor()
+        parent = Tracer()
+        parent.absorb(donor.records(), wall_origin=donor.wall_origin)
+        parent.absorb(donor.records(), wall_origin=donor.wall_origin)
+        spans = [r for r in parent.span_records() if r.name == "cell"]
+        assert len(spans) == 2
+        assert spans[0].wall_begin == spans[1].wall_begin
+
+    def test_dropped_counts_fold_in(self):
+        parent = Tracer()
+        parent.absorb([], dropped=3)
+        assert parent.dropped == 3
+
+    def test_capacity_applies_to_absorbed_records(self):
+        donor = self._donor()
+        parent = Tracer(capacity=1)
+        parent.absorb(donor.records(), wall_origin=donor.wall_origin)
+        assert len(parent) == 1
+        assert parent.dropped == len(donor.records()) - 1
+
+    def test_null_tracer_absorbs_nothing(self):
+        NULL_TRACER.absorb([object()], wall_origin=0.0, dropped=5)
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.dropped == 0
