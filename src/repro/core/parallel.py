@@ -176,7 +176,7 @@ def execute_cell(
     from .study import Study
 
     started = time.perf_counter()
-    study = Study(replace(config, jobs=1))
+    study = Study(replace(config, jobs=1, cache=False))
     ctx = (
         ObsContext.create(profile=profile, record_values=True)
         if obs_enabled else NULL_CONTEXT
@@ -216,6 +216,13 @@ class CellScheduler:
     def __init__(self, config: "StudyConfig") -> None:
         self.config = config
         self.jobs = resolve_jobs(config.jobs)
+        #: persistent cell-result cache (``config.cache``); consulted
+        #: before any fan-out and fed with every freshly computed cell
+        self.cache = None
+        if config.cache:
+            from .cellcache import CellCache
+
+            self.cache = CellCache(config.cache_dir)
         self._outcomes: dict[tuple[str, ...], CellOutcome] = {}
         self._groups_done: set[str] = set()
         #: advisory metadata: host wall time per executed cell label
@@ -245,17 +252,45 @@ class CellScheduler:
         obs_enabled = bool(ctx.enabled)
         profile = ctx.profiler is not None
         tasks = plan_tasks(group)
-        config = replace(self.config, jobs=1)
+        config = replace(self.config, jobs=1, cache=False)
         started = time.perf_counter()
-        workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(execute_cell, config, task, obs_enabled, profile)
-                for task in tasks
-            ]
-            outcomes = [future.result() for future in futures]
+        by_task: dict[CellTask, CellOutcome] = {}
+        pending = list(tasks)
+        if self.cache is not None:
+            pending = []
+            for task in tasks:
+                cached = self.cache.load(config, task, obs_enabled, profile)
+                if cached is not None:
+                    by_task[task] = cached
+                else:
+                    pending.append(task)
+        if pending:
+            workers = min(self.jobs, len(pending))
+            if workers > 1:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            execute_cell, config, task, obs_enabled, profile
+                        )
+                        for task in pending
+                    ]
+                    computed = [future.result() for future in futures]
+            else:
+                # serial (--cache without --jobs): compute misses
+                # in-process through the same worker entry point, so
+                # cached and fresh outcomes merge identically
+                computed = [
+                    execute_cell(config, task, obs_enabled, profile)
+                    for task in pending
+                ]
+            for task, outcome in zip(pending, computed):
+                by_task[task] = outcome
+                if self.cache is not None:
+                    self.cache.store(config, task, obs_enabled, profile,
+                                     outcome)
         self.group_wall_seconds[group] = time.perf_counter() - started
-        for outcome in outcomes:
+        for task in tasks:
+            outcome = by_task[task]
             label = outcome.task.label()
             self._outcomes[label] = outcome
             self.cell_wall_seconds["/".join(label)] = outcome.wall_seconds
@@ -278,9 +313,12 @@ class CellScheduler:
 
     def stats(self) -> dict:
         """Advisory execution metadata (host-dependent; never gated on)."""
-        return {
+        out = {
             "jobs": self.jobs,
             "cells": len(self.cell_wall_seconds),
             "cell_wall_seconds": dict(self.cell_wall_seconds),
             "group_wall_seconds": dict(self.group_wall_seconds),
         }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out

@@ -78,6 +78,10 @@ class StudyConfig:
     latency_sweep_sizes: tuple[int, ...] | None = None
     #: worker processes for benchmark cells (1 = serial, 0 = all cores)
     jobs: int = 1
+    #: serve unchanged benchmark cells from the persistent result cache
+    cache: bool = False
+    #: cache directory override (None = ``~/.cache/repro``)
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.runs, int) or self.runs < 1:
@@ -108,6 +112,12 @@ class StudyConfig:
             raise BenchmarkConfigError(
                 f"cell_max_events must be a positive int or None: "
                 f"{self.cell_max_events!r}"
+            )
+        if not isinstance(self.cache, bool):
+            raise BenchmarkConfigError(f"cache must be a bool: {self.cache!r}")
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise BenchmarkConfigError(
+                f"cache_dir must be a str or None: {self.cache_dir!r}"
             )
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise BenchmarkConfigError(
@@ -166,9 +176,11 @@ class Study:
         self.injector = make_injector(self.config.faults, self.streams)
         self.resilience = ResilienceLog()
         #: fans cells out to worker processes when ``jobs`` resolves to
-        #: more than one; ``None`` keeps the exact serial code path
+        #: more than one, and/or serves cells from the persistent result
+        #: cache under ``config.cache``; ``None`` keeps the exact serial
+        #: code path
         self.scheduler = None
-        if resolve_jobs(self.config.jobs) > 1:
+        if resolve_jobs(self.config.jobs) > 1 or self.config.cache:
             self.scheduler = CellScheduler(self.config)
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
 EVENT_RECORD_OVERHEAD = 0.4e-6
 
 
-@dataclass
+@dataclass(slots=True)
 class EventMarkerCommand(Command):
     """Queue marker: completes instantly, stamping the device clock."""
 
@@ -35,6 +35,8 @@ class EventMarkerCommand(Command):
 
 class DeviceEvent:
     """One recordable device event."""
+
+    __slots__ = ("device", "_timestamp", "_marker")
 
     def __init__(self, device: "Device") -> None:
         self.device = device
@@ -84,7 +86,7 @@ class DeviceEvent:
         return self.timestamp - start.timestamp
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitEventCommand(Command):
     """Stream barrier: holds the stream until an event completes
     (cudaStreamWaitEvent).  Cross-stream and cross-device dependencies

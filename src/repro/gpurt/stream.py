@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generator
 
 from ..errors import GpuRuntimeError, InvalidStreamError
-from ..obs import runtime as obs
 from ..sim.engine import Environment, Event
 from ..sim.resources import Resource, Store
 from .kernel import KernelSpec
@@ -26,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover
 _stream_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Command:
     """Base class for queued device work."""
 
@@ -40,26 +39,26 @@ class Command:
     def _queue_wait(self, device: "Device") -> float:
         """Observe and return time spent queued behind earlier commands."""
         wait = device.env.now - self.enqueued_at
-        obs.observe("gpurt.kernel.queue_wait_us", wait * 1e6)
+        device.runtime._m_queue_wait.observe(wait * 1e6)
         return wait
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelCommand(Command):
     kernel: KernelSpec = field(default=None)  # type: ignore[assignment]
 
     def execute(self, device: "Device") -> Generator:
-        ctx = obs.current()
-        if ctx.enabled:
+        rt = device.runtime
+        if rt._obs_enabled:
             self._queue_wait(device)
             if device.env.now > self.enqueued_at:
-                ctx.tracer.complete(
+                rt._tracer.complete(
                     f"queue:{self.kernel.name}", "gpurt",
                     self.enqueued_at, device.env.now, device=device.index,
                 )
         t_exec = device.env.now
         duration = self.kernel.duration_on(device)
-        injector = device.runtime.injector
+        injector = rt.injector
         if injector is not None:
             # downclock / thermal-throttle fault: the kernel runs slower
             duration *= injector.kernel_duration_factor(device.index)
@@ -67,15 +66,15 @@ class KernelCommand(Command):
         device.trace.record(
             device.env.now, "kernel", f"{self.kernel.name}.end", device=device.index
         )
-        obs.count("gpurt.kernel.completed")
-        if ctx.enabled:
-            ctx.tracer.complete(
+        rt._m_completed.inc()
+        if rt._obs_enabled:
+            rt._tracer.complete(
                 f"exec:{self.kernel.name}", "gpurt", t_exec, device.env.now,
                 device=device.index,
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class CopyCommand(Command):
     plan: CopyPlan = field(default=None)  # type: ignore[assignment]
     nbytes: int = 0
@@ -83,11 +82,11 @@ class CopyCommand(Command):
     def execute(self, device: "Device") -> Generator:
         req = device.dma_engines.request()
         yield req
-        ctx = obs.current()
+        rt = device.runtime
         t_dma = device.env.now
         try:
             duration = self.plan.duration(self.nbytes)
-            injector = device.runtime.injector
+            injector = rt.injector
             if injector is not None:
                 # ECC-retry fault: the transfer stalls mid-flight
                 duration += injector.memcpy_stall(device.index)
@@ -102,8 +101,8 @@ class CopyCommand(Command):
             nbytes=self.nbytes,
             route=self.plan.route,
         )
-        if ctx.enabled:
-            ctx.tracer.complete(
+        if rt._obs_enabled:
+            rt._tracer.complete(
                 f"dma:{self.plan.kind.value}", "gpurt", t_dma, device.env.now,
                 device=device.index, nbytes=self.nbytes,
             )
@@ -111,6 +110,9 @@ class CopyCommand(Command):
 
 class Stream:
     """One in-order command queue on a device."""
+
+    __slots__ = ("device", "env", "stream_id", "_queue", "_inflight",
+                 "_idle_event", "_destroyed", "_processor")
 
     def __init__(self, device: "Device") -> None:
         self.device = device

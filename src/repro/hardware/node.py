@@ -53,6 +53,18 @@ class NodeSpec:
                 self.numa = single_domain(cpu.cores)
             else:
                 self.numa = per_socket(len(self.sockets), cpu.cores)
+        # Derived geometry is immutable after construction (nothing in
+        # the tree mutates sockets), so precompute it: these properties
+        # sit inside simulation callbacks (OpenMP placement, pingpong
+        # setup) and recomputation dominated sustained-study profiles.
+        # Plain attributes, not dataclass fields, so dataclasses.fields
+        # walkers (the cell-cache fingerprint, asdict) never see them.
+        cpu = self.sockets[0]
+        self._cpu = cpu
+        self._n_sockets = len(self.sockets)
+        self._total_cores = cpu.cores * self._n_sockets
+        self._total_hardware_threads = self._total_cores * cpu.smt
+        self._hwthreads: list[HardwareThread] | None = None
 
     # ------------------------------------------------------------------
     # CPU geometry
@@ -60,56 +72,55 @@ class NodeSpec:
     @property
     def cpu(self) -> CpuSpec:
         """The socket spec (all sockets are identical)."""
-        return self.sockets[0]
+        return self._cpu
 
     @property
     def n_sockets(self) -> int:
-        return len(self.sockets)
+        return self._n_sockets
 
     @property
     def total_cores(self) -> int:
-        return self.cpu.cores * self.n_sockets
+        return self._total_cores
 
     @property
     def total_hardware_threads(self) -> int:
-        return self.total_cores * self.cpu.smt
+        return self._total_hardware_threads
 
     def socket_of_core(self, core: int) -> int:
-        if not 0 <= core < self.total_cores:
+        if not 0 <= core < self._total_cores:
             raise HardwareConfigError(
-                f"core {core} out of range on {self.name} ({self.total_cores} cores)"
+                f"core {core} out of range on {self.name} ({self._total_cores} cores)"
             )
-        return core // self.cpu.cores
+        return core // self._cpu.cores
+
+    def _enumerate_hwthreads(self) -> list[HardwareThread]:
+        if self._hwthreads is None:
+            out = []
+            ncores = self._total_cores
+            for sib in range(self._cpu.smt):
+                for core in range(ncores):
+                    out.append(
+                        HardwareThread(
+                            os_id=sib * ncores + core,
+                            core=core,
+                            sibling=sib,
+                            socket=self.socket_of_core(core),
+                        )
+                    )
+            self._hwthreads = out
+        return self._hwthreads
 
     def hardware_threads(self) -> list[HardwareThread]:
         """Enumerate hardware threads Linux-style (all sibling-0 first)."""
-        out = []
-        ncores = self.total_cores
-        for sib in range(self.cpu.smt):
-            for core in range(ncores):
-                out.append(
-                    HardwareThread(
-                        os_id=sib * ncores + core,
-                        core=core,
-                        sibling=sib,
-                        socket=self.socket_of_core(core),
-                    )
-                )
-        return out
+        return list(self._enumerate_hwthreads())
 
     def hardware_thread(self, os_id: int) -> HardwareThread:
-        total = self.total_hardware_threads
-        if not 0 <= os_id < total:
+        if not 0 <= os_id < self._total_hardware_threads:
             raise HardwareConfigError(
-                f"hwthread {os_id} out of range on {self.name} ({total} threads)"
+                f"hwthread {os_id} out of range on {self.name} "
+                f"({self._total_hardware_threads} threads)"
             )
-        ncores = self.total_cores
-        return HardwareThread(
-            os_id=os_id,
-            core=os_id % ncores,
-            sibling=os_id // ncores,
-            socket=self.socket_of_core(os_id % ncores),
-        )
+        return self._enumerate_hwthreads()[os_id]
 
     # ------------------------------------------------------------------
     # accelerators

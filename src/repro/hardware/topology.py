@@ -70,6 +70,27 @@ class Topology:
     def __init__(self) -> None:
         self._graph = nx.Graph()
         self._components: dict[str, Component] = {}
+        #: memoized shortest routes; cleared whenever the graph mutates
+        self._route_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+
+    def __repr__(self) -> str:
+        """Content-only image (no object ids): components and links in
+        sorted order.  The cell cache fingerprints machine specs through
+        this, so two topologies built the same way must repr the same."""
+        comps = ", ".join(
+            f"{c.name}:{c.kind.value}@{c.socket}"
+            + (f"{sorted(c.attrs.items())}" if c.attrs else "")
+            for c in sorted(self._components.values(), key=lambda c: c.name)
+        )
+        edges = ", ".join(
+            f"{a}<->{b}={data['link']!r}"
+            for a, b, data in sorted(
+                (tuple(sorted((u, v))) + (d,)
+                 for u, v, d in self._graph.edges(data=True)),
+                key=lambda e: (e[0], e[1]),
+            )
+        )
+        return f"Topology(components=[{comps}], links=[{edges}])"
 
     # ------------------------------------------------------------------
     # construction
@@ -82,6 +103,7 @@ class Topology:
         comp = Component(name, kind, socket, attrs)
         self._components[name] = comp
         self._graph.add_node(name, component=comp)
+        self._route_cache.clear()
         return comp
 
     def connect(self, a: str, b: str, link: LinkInstance) -> None:
@@ -92,6 +114,7 @@ class Topology:
         if self._graph.has_edge(a, b):
             raise TopologyError(f"duplicate link {a} <-> {b}")
         self._graph.add_edge(a, b, link=link)
+        self._route_cache.clear()
 
     def _require(self, name: str) -> Component:
         try:
@@ -146,18 +169,29 @@ class Topology:
         return out
 
     def route(self, src: str, dst: str) -> tuple[str, ...]:
-        """Lowest-latency component path from ``src`` to ``dst``."""
+        """Lowest-latency component path from ``src`` to ``dst``.
+
+        Routes are memoized per (src, dst): the graph is static once a
+        machine spec is built, and re-running Dijkstra per simulated
+        memcpy dominated the gpurt hot path.
+        """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         self._require(src)
         self._require(dst)
         if src == dst:
-            return (src,)
-        try:
-            path = nx.shortest_path(
-                self._graph, src, dst, weight=lambda u, v, d: d["link"].latency
-            )
-        except nx.NetworkXNoPath:
-            raise TopologyError(f"no route from {src} to {dst}") from None
-        return tuple(path)
+            path = (src,)
+        else:
+            try:
+                path = tuple(nx.shortest_path(
+                    self._graph, src, dst,
+                    weight=lambda u, v, d: d["link"].latency,
+                ))
+            except nx.NetworkXNoPath:
+                raise TopologyError(f"no route from {src} to {dst}") from None
+        self._route_cache[(src, dst)] = path
+        return path
 
     def path_latency(self, path: Iterable[str]) -> float:
         """Sum of hardware link latencies along a component path."""

@@ -135,6 +135,7 @@ def run_target(
     *,
     obs_smoke: bool = False,
     parallel_smoke: bool = False,
+    cache_smoke: bool = False,
 ) -> str:
     """Produce the output text for one CLI target."""
     if target == "table1":
@@ -179,23 +180,30 @@ def run_target(
         return render_selfcheck(run_selfcheck())
     if target == "selfcheck":
         return _run_selfcheck_target(
-            study, obs_smoke=obs_smoke, parallel_smoke=parallel_smoke
+            study, obs_smoke=obs_smoke, parallel_smoke=parallel_smoke,
+            cache_smoke=cache_smoke,
         )
     raise ValueError(f"unknown target: {target}")
 
 
 def _run_selfcheck_target(
-    study: Study, obs_smoke: bool = False, parallel_smoke: bool = False
+    study: Study,
+    obs_smoke: bool = False,
+    parallel_smoke: bool = False,
+    cache_smoke: bool = False,
 ) -> str:
     """``selfcheck``: structural checks, plus the fault smoke suite
     whenever a fault plan is armed (``--faults smoke`` in CI), the
-    observability smoke suite under ``--obs smoke``, and the
-    parallel-equivalence smoke suite under ``--parallel``."""
+    observability smoke suite under ``--obs smoke``, the
+    parallel-equivalence smoke suite under ``--parallel``, and the
+    cell-cache smoke suite under ``--cache``."""
     from .selfcheck import (
+        render_cache_smoke,
         render_fault_smoke,
         render_obs_smoke,
         render_parallel_smoke,
         render_selfcheck,
+        run_cache_smoke,
         run_fault_smoke,
         run_obs_smoke,
         run_parallel_smoke,
@@ -209,6 +217,8 @@ def _run_selfcheck_target(
         parts.append(render_obs_smoke(run_obs_smoke()))
     if parallel_smoke:
         parts.append(render_parallel_smoke(run_parallel_smoke()))
+    if cache_smoke:
+        parts.append(render_cache_smoke(run_cache_smoke()))
     return "\n".join(parts)
 
 
@@ -317,6 +327,16 @@ def main(argv: list[str] | None = None) -> int:
              "cores); output is byte-identical at any value",
     )
     parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="serve unchanged benchmark cells from the persistent result "
+             "cache (~/.cache/repro); output is byte-identical to an "
+             "uncached run (--no-cache forces it off; default: off)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default="", metavar="DIR",
+        help="cell-cache directory (implies --cache unless --no-cache)",
+    )
+    parser.add_argument(
         "--output", type=str, default="",
         help="write the (last) target's output to this file as well",
     )
@@ -353,11 +373,13 @@ def main(argv: list[str] | None = None) -> int:
     from ..errors import ReproError
     from ..faults import get_profile
 
+    cache = args.cache if args.cache is not None else bool(args.cache_dir)
     try:
         plan = get_profile(args.faults)
         study = Study(StudyConfig(
             runs=args.runs, seed=args.seed, exact=args.exact,
             faults=plan, max_retries=args.max_retries, jobs=args.jobs,
+            cache=cache, cache_dir=args.cache_dir or None,
         ))
     except ReproError as exc:
         parser.error(str(exc))
@@ -392,6 +414,7 @@ def main(argv: list[str] | None = None) -> int:
                 target, study,
                 obs_smoke=args.obs == "smoke",
                 parallel_smoke=args.parallel,
+                cache_smoke=cache,
             )
             print(f"==> {target}")
             print(text)
@@ -403,6 +426,14 @@ def main(argv: list[str] | None = None) -> int:
     if study.injector is not None:
         # the summary goes to stderr so stdout stays pure table text
         _stderr_report(study.resilience.summary(), args.quiet)
+    if study.scheduler is not None and study.scheduler.cache is not None:
+        stats = study.scheduler.cache.stats()
+        _stderr_report(
+            f"cell cache: {stats['hits']} hit(s), {stats['misses']} "
+            f"miss(es), {stats['stores']} store(s), "
+            f"{stats['invalidated']} invalidated under {stats['directory']}",
+            args.quiet,
+        )
     if ctx.enabled:
         from ..obs.export import (
             text_summary,

@@ -560,6 +560,94 @@ def check_parallel_scheduler_stats() -> list[Finding]:
     return out
 
 
+def check_cache_roundtrip() -> list[Finding]:
+    """Two identical cached studies: the first stores every cell, the
+    second serves every cell from disk, and the rendered bytes match."""
+    import tempfile
+
+    from ..core.study import Study, StudyConfig
+    from ..core.tables import build_table4, render_table4
+    from ..machines.registry import get_machine
+
+    out = []
+    with tempfile.TemporaryDirectory() as tmp:
+        def render() -> tuple[str, dict]:
+            study = Study(StudyConfig(
+                runs=2, seed=77, cache=True, cache_dir=tmp,
+            ))
+            text = render_table4(build_table4(
+                study, machines=[get_machine("sawtooth")]
+            ))
+            return text, study.scheduler.cache.stats()
+
+        cold_text, cold = render()
+        warm_text, warm = render()
+    if cold["hits"] != 0 or cold["stores"] == 0:
+        out.append(Finding("-", "cache",
+                           f"cold run expected all stores, got {cold}"))
+    if warm["misses"] != 0 or warm["hits"] != cold["stores"]:
+        out.append(Finding("-", "cache",
+                           f"warm run expected all hits, got {warm}"))
+    if warm_text != cold_text:
+        out.append(Finding("-", "cache",
+                           "warm table text differs from cold run"))
+    return out
+
+
+def check_cache_version_invalidation() -> list[Finding]:
+    """A code-version bump must hard-invalidate existing entries."""
+    import tempfile
+    from unittest import mock
+
+    from ..core import cellcache
+    from ..core.study import Study, StudyConfig
+    from ..core.tables import build_table4
+    from ..machines.registry import get_machine
+
+    out = []
+    with tempfile.TemporaryDirectory() as tmp:
+        def run() -> dict:
+            study = Study(StudyConfig(
+                runs=2, seed=77, cache=True, cache_dir=tmp,
+            ))
+            build_table4(study, machines=[get_machine("sawtooth")])
+            return study.scheduler.cache.stats()
+
+        cold = run()
+        with mock.patch.object(cellcache, "_CODE_VERSION", "0.0.0-smoke"):
+            stale = run()
+    if stale["invalidated"] != cold["stores"] or stale["hits"] != 0:
+        out.append(Finding(
+            "-", "cache",
+            f"version bump did not invalidate all {cold['stores']} "
+            f"entries: {stale}",
+        ))
+    return out
+
+
+CACHE_CHECKS = (
+    check_cache_roundtrip,
+    check_cache_version_invalidation,
+)
+
+
+def run_cache_smoke() -> list[Finding]:
+    """Exercise the persistent cell cache end to end; empty = healthy."""
+    findings: list[Finding] = []
+    for check in CACHE_CHECKS:
+        findings.extend(check())
+    return findings
+
+
+def render_cache_smoke(findings: list[Finding]) -> str:
+    if not findings:
+        return (
+            f"cache smoke passed: {len(CACHE_CHECKS)} check families "
+            f"(cold/warm byte-identity, version invalidation)"
+        )
+    return "\n".join(str(f) for f in findings)
+
+
 PARALLEL_CHECKS = (
     check_parallel_jobs_knob,
     check_parallel_digest,

@@ -34,7 +34,7 @@ class BufferKind(enum.Enum):
     DEVICE = "device"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathCost:
     """One-way cost decomposition for a rank pair.
 

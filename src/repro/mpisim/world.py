@@ -48,7 +48,7 @@ class _MsgKind(enum.Enum):
 ANY_TAG = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     kind: _MsgKind
     src: int
@@ -62,12 +62,16 @@ class Message:
     seq: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PrepostedRecv:
     """Handle for an in-flight preposted receive."""
 
     src: int
     event: Any
+
+
+def _match_any(_m: Message) -> bool:
+    return True
 
 
 class MatchQueue:
@@ -82,6 +86,8 @@ class MatchQueue:
     observes the unexpected-queue depth every time a message has to be
     queued rather than matched — the quantity MPI implementors watch.
     """
+
+    __slots__ = ("env", "items", "_waiters", "_depth_hist")
 
     def __init__(self, env: Environment, depth_hist=None) -> None:
         self.env = env
@@ -102,7 +108,7 @@ class MatchQueue:
     def get(self, match: Optional[Callable[[Message], bool]] = None):
         """An event that triggers with the oldest matching message."""
         if match is None:
-            match = lambda _m: True  # noqa: E731
+            match = _match_any
         event = self.env.event()
         for idx, item in enumerate(self.items):
             if match(item):
@@ -118,6 +124,8 @@ class MatchQueue:
 
 class RankContext:
     """Handle a rank's generator code uses to communicate."""
+
+    __slots__ = ("world", "rank", "env")
 
     def __init__(self, world: "MpiWorld", rank: int) -> None:
         self.world = world
@@ -174,61 +182,69 @@ class RankContext:
         if tag < 0:
             raise MpiSimError(f"send tag must be non-negative: {tag}")
         world = self.world
-        cost = world.path(self.rank, dst, buffer)
-        seq = world._next_seq()
-        t_post = self.env.now
+        env = self.env
+        rank = self.rank
+        cost = world.path(rank, dst, buffer)
+        seq = world._seq_counter = world._seq_counter + 1
+        injector = world.injector
+        t_post = env.now
+        overhead = cost.o_send
+        if injector is not None:
+            overhead += injector.straggler_delay(rank, overhead)
         if nbytes <= world.eager_threshold:
             world._m_eager.inc()
-            yield self.env.timeout(self._overhead(cost.o_send))
-            yield from self._transmit(dst)
-            arrival = world._reserve_wire(self.rank, dst, nbytes, cost)
-            world._mailbox(self.rank, dst).put(
-                Message(_MsgKind.EAGER, self.rank, dst, nbytes, arrival,
+            yield env.timeout(overhead)
+            if injector is not None:
+                yield from self._transmit(dst)
+            arrival = world._reserve_wire(rank, dst, nbytes, cost)
+            world._mailbox(rank, dst).put(
+                Message(_MsgKind.EAGER, rank, dst, nbytes, arrival,
                         buffer, payload, tag, seq)
             )
             if world._obs_enabled:
                 world._tracer.complete(
-                    "send.eager", "mpisim", t_post, self.env.now,
-                    src=self.rank, dst=dst, nbytes=nbytes,
+                    "send.eager", "mpisim", t_post, env.now,
+                    src=rank, dst=dst, nbytes=nbytes,
                 )
             return
         # rendezvous
         world._m_rendezvous.inc()
-        yield self.env.timeout(self._overhead(cost.o_send))
-        world._mailbox(self.rank, dst).put(
-            Message(_MsgKind.RTS, self.rank, dst, nbytes,
-                    self.env.now + cost.wire, buffer, None, tag, seq)
+        yield env.timeout(overhead)
+        world._mailbox(rank, dst).put(
+            Message(_MsgKind.RTS, rank, dst, nbytes,
+                    env.now + cost.wire, buffer, None, tag, seq)
         )
-        t_rts = self.env.now
-        cts: Message = yield world._control(dst, self.rank).get(
+        t_rts = env.now
+        cts: Message = yield world._control(dst, rank).get(
             lambda m: m.seq == seq
         )
         if cts.kind != _MsgKind.CTS:
-            raise MpiSimError(f"rank {self.rank}: expected CTS, got {cts.kind}")
+            raise MpiSimError(f"rank {rank}: expected CTS, got {cts.kind}")
         if world._obs_enabled:
             # the RTS->CTS handshake wait is the rendezvous signature
             world._tracer.complete(
-                "rendezvous.handshake", "mpisim", t_rts, self.env.now,
-                src=self.rank, dst=dst, nbytes=nbytes,
+                "rendezvous.handshake", "mpisim", t_rts, env.now,
+                src=rank, dst=dst, nbytes=nbytes,
             )
-        if cts.arrival > self.env.now:
-            yield self.env.timeout(cts.arrival - self.env.now)
-        yield from self._transmit(dst)
-        arrival = world._reserve_wire(self.rank, dst, nbytes, cost)
-        world._data(self.rank, dst).put(
-            Message(_MsgKind.DATA, self.rank, dst, nbytes, arrival,
+        if cts.arrival > env.now:
+            yield env.timeout(cts.arrival - env.now)
+        if injector is not None:
+            yield from self._transmit(dst)
+        arrival = world._reserve_wire(rank, dst, nbytes, cost)
+        world._data(rank, dst).put(
+            Message(_MsgKind.DATA, rank, dst, nbytes, arrival,
                     buffer, payload, tag, seq)
         )
         if world._obs_enabled:
             world._tracer.complete(
-                "send.rendezvous", "mpisim", t_post, self.env.now,
-                src=self.rank, dst=dst, nbytes=nbytes,
+                "send.rendezvous", "mpisim", t_post, env.now,
+                src=rank, dst=dst, nbytes=nbytes,
             )
 
     @staticmethod
     def _envelope_match(tag: int) -> Callable[[Message], bool]:
         if tag == ANY_TAG:
-            return lambda m: True
+            return _match_any
         return lambda m: m.tag == tag
 
     def recv(self, src: int, tag: int = ANY_TAG) -> Generator:
@@ -238,35 +254,48 @@ class RankContext:
         by default); messages with other tags stay queued.
         """
         world = self.world
-        msg: Message = yield world._mailbox(src, self.rank).get(
+        env = self.env
+        rank = self.rank
+        msg: Message = yield world._mailbox(src, rank).get(
             self._envelope_match(tag)
         )
-        cost = world.path(src, self.rank, msg.buffer)
+        cost = world.path(src, rank, msg.buffer)
+        injector = world.injector
         if msg.kind == _MsgKind.EAGER:
-            if msg.arrival > self.env.now:
-                yield self.env.timeout(msg.arrival - self.env.now)
-            yield self.env.timeout(self._overhead(cost.o_recv))
+            if msg.arrival > env.now:
+                yield env.timeout(msg.arrival - env.now)
+            # straggler draw stays AFTER the arrival wait: fault RNG
+            # streams must consume draws in the same event order as the
+            # pre-optimization code path
+            overhead = cost.o_recv
+            if injector is not None:
+                overhead += injector.straggler_delay(rank, overhead)
+            yield env.timeout(overhead)
             return msg
         if msg.kind != _MsgKind.RTS:
-            raise MpiSimError(f"rank {self.rank}: expected EAGER/RTS, got {msg.kind}")
-        if msg.arrival > self.env.now:
-            yield self.env.timeout(msg.arrival - self.env.now)
+            raise MpiSimError(f"rank {rank}: expected EAGER/RTS, got {msg.kind}")
+        if msg.arrival > env.now:
+            yield env.timeout(msg.arrival - env.now)
         # answer CTS, then take the bulk data; both legs match on the
         # send's sequence id so that concurrent rendezvous (including
         # different tags) cannot cross wires
-        world._control(self.rank, src).put(
-            Message(_MsgKind.CTS, self.rank, src, 0,
-                    self.env.now + cost.wire, msg.buffer, None,
+        world._control(rank, src).put(
+            Message(_MsgKind.CTS, rank, src, 0,
+                    env.now + cost.wire, msg.buffer, None,
                     msg.tag, msg.seq)
         )
-        data: Message = yield world._data(src, self.rank).get(
-            lambda m: m.seq == msg.seq
+        seq = msg.seq
+        data: Message = yield world._data(src, rank).get(
+            lambda m: m.seq == seq
         )
         if data.kind != _MsgKind.DATA:
-            raise MpiSimError(f"rank {self.rank}: expected DATA, got {data.kind}")
-        if data.arrival > self.env.now:
-            yield self.env.timeout(data.arrival - self.env.now)
-        yield self.env.timeout(self._overhead(cost.o_recv))
+            raise MpiSimError(f"rank {rank}: expected DATA, got {data.kind}")
+        if data.arrival > env.now:
+            yield env.timeout(data.arrival - env.now)
+        overhead = cost.o_recv
+        if injector is not None:
+            overhead += injector.straggler_delay(rank, overhead)
+        yield env.timeout(overhead)
         return data
 
     # -- preposted receives --------------------------------------------------
@@ -357,7 +386,7 @@ class MpiWorld:
         self._controls: dict[tuple[int, int], MatchQueue] = {}
         self._datas: dict[tuple[int, int], MatchQueue] = {}
         self._seq_counter = 0
-        self._path_cache: dict[tuple[int, int, BufferKind], Any] = {}
+        self._path_cache: dict[tuple[int, int, Any], Any] = {}
         #: per ordered rank pair: simulated time the wire frees up
         self._wire_free: dict[tuple[int, int], float] = {}
 
@@ -366,14 +395,17 @@ class MpiWorld:
         return len(self.placement)
 
     def path(self, src: int, dst: int, buffer: BufferKind):
-        key = (src, dst, buffer)
-        if key not in self._path_cache:
+        # key on the enum's raw value: both Enum.__hash__ and the .value
+        # descriptor are Python-level and show up on the per-message path
+        key = (src, dst, buffer._value_)
+        cost = self._path_cache.get(key)
+        if cost is None:
             self._check_rank(src)
             self._check_rank(dst)
-            self._path_cache[key] = self.transport.path(
+            cost = self._path_cache[key] = self.transport.path(
                 self.placement[src], self.placement[dst], buffer
             )
-        return self._path_cache[key]
+        return cost
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
@@ -385,24 +417,27 @@ class MpiWorld:
 
     def _mailbox(self, src: int, dst: int) -> MatchQueue:
         key = (src, dst)
-        if key not in self._mailboxes:
-            self._mailboxes[key] = MatchQueue(
+        queue = self._mailboxes.get(key)
+        if queue is None:
+            queue = self._mailboxes[key] = MatchQueue(
                 self.env,
                 depth_hist=self._m_queue_depth if self._obs_enabled else None,
             )
-        return self._mailboxes[key]
+        return queue
 
     def _control(self, src: int, dst: int) -> MatchQueue:
         key = (src, dst)
-        if key not in self._controls:
-            self._controls[key] = MatchQueue(self.env)
-        return self._controls[key]
+        queue = self._controls.get(key)
+        if queue is None:
+            queue = self._controls[key] = MatchQueue(self.env)
+        return queue
 
     def _data(self, src: int, dst: int) -> MatchQueue:
         key = (src, dst)
-        if key not in self._datas:
-            self._datas[key] = MatchQueue(self.env)
-        return self._datas[key]
+        queue = self._datas.get(key)
+        if queue is None:
+            queue = self._datas[key] = MatchQueue(self.env)
+        return queue
 
     def _reserve_wire(self, src: int, dst: int, nbytes: int, cost) -> float:
         """Serialise transfers on the pair's wire; return arrival time.

@@ -14,7 +14,7 @@ from ..errors import SimulationError
 from ..obs import runtime as obs
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkLink:
     """One direction of one physical link.
 
@@ -167,6 +167,8 @@ class AdaptiveRoute:
     clock and picks the candidate whose busiest link frees up first —
     the essence of adaptive dragonfly routing.
     """
+
+    __slots__ = ("candidates",)
 
     def __init__(self, candidates: list[list["NetworkLink"]]) -> None:
         if not candidates or any(not c for c in candidates):

@@ -126,16 +126,21 @@ class BenchRun:
     repeats: int
     seed: int
     faults: str = "none"
+    #: ISO date the run was recorded (informational; "" on old files)
+    date: str = ""
     targets: dict[str, TargetRecord] = field(default_factory=dict)
 
     def to_json(self) -> dict:
+        config = {
+            "repeats": self.repeats,
+            "seed": self.seed,
+            "faults": self.faults,
+        }
+        if self.date:
+            config["date"] = self.date
         return {
             "schema": BENCH_SCHEMA,
-            "config": {
-                "repeats": self.repeats,
-                "seed": self.seed,
-                "faults": self.faults,
-            },
+            "config": config,
             "targets": {
                 name: self.targets[name].to_json()
                 for name in sorted(self.targets)
@@ -159,6 +164,7 @@ class BenchRun:
             repeats=int(config.get("repeats", 1)),
             seed=int(config.get("seed", 0)),
             faults=str(config.get("faults", "none")),
+            date=str(config.get("date", "")),
             targets={
                 name: TargetRecord.from_json(entry, name)
                 for name, entry in targets_doc.items()

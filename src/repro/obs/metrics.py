@@ -131,6 +131,38 @@ class Histogram:
         if self.values is not None:
             self.values.append(value)
 
+    def observe_many(self, values: list) -> None:
+        """Fold a batch of observations in one pass (the merge path).
+
+        Equivalent to ``for v in values: self.observe(v)`` bit for bit:
+        bucket counts come from one sort plus a cumulative bisect per
+        bound (instead of a bisect per value), while ``total`` still
+        accumulates sequentially in the *original* list order — float
+        addition is order-sensitive, and the merged registry must land
+        on the identical ``total``/``mean`` a serial registry produced.
+        """
+        if not values:
+            return
+        ordered = sorted(values)
+        counts = self.counts
+        previous = 0
+        for idx, bound in enumerate(self.bounds):
+            cumulative = bisect.bisect_right(ordered, bound)
+            counts[idx] += cumulative - previous
+            previous = cumulative
+        counts[len(self.bounds)] += len(ordered) - previous
+        self.count += len(values)
+        total = self.total
+        for value in values:
+            total += value
+        self.total = total
+        if ordered[0] < self.min:
+            self.min = ordered[0]
+        if ordered[-1] > self.max:
+            self.max = ordered[-1]
+        if self.values is not None:
+            self.values.extend(values)
+
     @property
     def mean(self) -> float | None:
         """Mean of observed values; ``None`` before any observation."""
@@ -273,9 +305,11 @@ class MetricsRegistry:
         Counter deltas add (integer increments, so addition is exact),
         gauges adopt the incoming final value (last merge wins — the
         same "last mutation wins" a serial run exhibits when outcomes
-        are merged in execution order), histogram observations replay
-        one by one so bucket counts *and* float totals match a serial
-        registry bit for bit.
+        are merged in execution order), histogram observations fold in
+        through :meth:`Histogram.observe_many` — one sort per merge
+        instead of a bisect per value — whose float totals still
+        accumulate in original observation order, so bucket counts
+        *and* totals match a serial registry bit for bit.
         """
         for name, entry in state.items():
             kind = entry["kind"]
@@ -287,8 +321,7 @@ class MetricsRegistry:
                 self.gauge(name).set(entry["value"])
             elif kind == "histogram":
                 histogram = self.histogram(name, bounds=entry["bounds"])
-                for value in entry["values"]:
-                    histogram.observe(value)
+                histogram.observe_many(entry["values"])
             else:
                 raise ObservabilityError(
                     f"unknown instrument kind {kind!r} for {name!r}"
@@ -374,4 +407,8 @@ DECLARED_COUNTERS = (
     "faults.injected.sample_bursts",
     "study.cell.completed",
     "study.cell.degraded",
+    "cache.cell.hit",
+    "cache.cell.miss",
+    "cache.cell.store",
+    "cache.cell.invalidated",
 )

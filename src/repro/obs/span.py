@@ -29,8 +29,12 @@ from ..errors import ObservabilityError
 #: default ring capacity (records, spans and instants combined)
 DEFAULT_CAPACITY = 1 << 16
 
+#: lazily bound TraceEvent class (the import cycle with sim.trace keeps
+#: it out of module scope; binding once avoids a per-instant import)
+_TraceEvent = None
 
-@dataclass
+
+@dataclass(slots=True)
 class SpanRecord:
     """One finished (or still-open, at export time) span."""
 
@@ -184,19 +188,24 @@ class Tracer:
                 f"({sim_end} < {sim_begin})"
             )
         now = time.perf_counter()
+        # ``attrs`` is already a fresh dict built from the keyword
+        # arguments, so it can be stored without a defensive copy
         self._keep(SpanRecord(
             name=name, category=category,
             wall_begin=now, wall_end=now,
             sim_begin=sim_begin, sim_end=sim_end,
-            depth=len(self._stack), attrs=dict(attrs),
+            depth=len(self._stack), attrs=attrs,
         ))
 
     def instant(self, sim_time: float, category: str, label: str,
                 attrs: Optional[dict] = None) -> None:
         """Record one instant event (the ``TraceRecorder`` adapter path)."""
-        from ..sim.trace import TraceEvent
+        global _TraceEvent
+        if _TraceEvent is None:
+            from ..sim.trace import TraceEvent as _TraceEvent_cls
+            _TraceEvent = _TraceEvent_cls
 
-        self._keep(TraceEvent(sim_time, category, label, attrs or {}))
+        self._keep(_TraceEvent(sim_time, category, label, attrs or {}))
 
     def absorb(
         self,

@@ -14,17 +14,21 @@ from .engine import Environment, Event
 
 
 class _SendOp(Event):
+    __slots__ = ("payload",)
+
     def __init__(self, env: Environment, payload: Any) -> None:
         super().__init__(env)
         self.payload = payload
 
 
 class _RecvOp(Event):
-    pass
+    __slots__ = ()
 
 
 class Channel:
     """An unbuffered point-to-point rendezvous channel."""
+
+    __slots__ = ("env", "name", "_senders", "_receivers")
 
     def __init__(self, env: Environment, name: str = "") -> None:
         self.env = env

@@ -9,11 +9,36 @@ hands back an :class:`Event` the process waits on.
 The implementation is deliberately small but complete enough to express
 everything the hardware models need: timeouts, processes as events
 (join semantics), interrupts, and ``AllOf``/``AnyOf`` composition.
+
+Hot-path fast paths (DESIGN.md 5f)
+----------------------------------
+The paper's protocol multiplies out to millions of heap pushes and pops
+per study, so per-event overhead dominates host time.  Three engine
+fast paths cut it without changing a single scheduling decision:
+
+* every event class uses ``__slots__`` (no per-instance dict);
+* a one-entry *fast lane* buffers the most recently scheduled minimum
+  entry so the schedule-then-immediately-pop pattern of tight ping-pong
+  loops skips the heap entirely — pops always take the true global
+  minimum of ``heap + fast lane``, so processing order is exactly the
+  ``(time, priority, sequence)`` contract, and sequence numbers advance
+  identically (the profiler hook and fault injector see the same event
+  stream);
+* processed :class:`Timeout` objects are pooled and reused, but only
+  when a refcount check proves the engine holds the sole remaining
+  reference — an object anyone else can still observe is never
+  recycled.
+
+``REPRO_DISABLE_FASTPATH=1`` in the environment disables the fast lane
+and the timeout pool (``__slots__`` stays; it is not observable), which
+is the escape hatch the byte-identity tests diff against.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import sys
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Generator, Iterable, Optional
@@ -28,6 +53,28 @@ URGENT = 0
 #: process-wide profiler hook (see repro.obs.profiler.SimProfiler);
 #: None keeps step() on the exact unprofiled path
 _PROFILER = None
+
+
+def _fastpath_from_env() -> bool:
+    return os.environ.get("REPRO_DISABLE_FASTPATH", "").strip().lower() not in (
+        "1", "true", "yes", "on"
+    )
+
+
+#: fast lane + timeout pooling switch (import-time; escape hatch for the
+#: byte-identity tests)
+_FASTPATH = _fastpath_from_env()
+#: timeout pooling additionally needs CPython's exact refcounts
+_POOLING = _FASTPATH and sys.implementation.name == "cpython"
+#: retained recycled timeouts per environment
+_POOL_MAX = 64
+
+_getrefcount = sys.getrefcount
+
+
+def fastpath_enabled() -> bool:
+    """Whether the engine fast paths are active in this process."""
+    return _FASTPATH
 
 
 def set_profiler(profiler) -> object:
@@ -75,12 +122,15 @@ class Event:
     callbacks invoked when processed.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_scheduled")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok: bool = True
         self._defused = False
+        self._scheduled = False
 
     # -- state -----------------------------------------------------------
     @property
@@ -100,8 +150,6 @@ class Event:
     @property
     def value(self) -> Any:
         return self._value
-
-    _scheduled = False
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -143,6 +191,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` simulated seconds in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -154,6 +204,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a process at the current time."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -176,6 +228,8 @@ class Process(Event):
     value) when the coroutine finishes, so processes can ``yield`` other
     processes to join them.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -221,64 +275,66 @@ class Process(Event):
 
     # -- scheduling glue ---------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        generator = self._generator
+        env._active_process = self
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = generator.send(event._value)
                 else:
                     # Failed event: raise inside the coroutine.
                     event._defused = True
                     exc = event._value
-                    target = self._generator.throw(exc)
+                    target = generator.throw(exc)
             except StopIteration as stop:
-                self.env._active_process = None
-                self.env._processes.pop(self, None)
+                env._active_process = None
+                env._processes.pop(self, None)
                 self._target = None
                 self._value = stop.value
                 self._ok = True
-                self.env._schedule(self, NORMAL)
+                env._schedule(self, NORMAL)
                 return
             except Interrupt as exc:
                 # Interrupt escaped the coroutine: terminate it with failure.
-                self.env._active_process = None
-                self.env._processes.pop(self, None)
+                env._active_process = None
+                env._processes.pop(self, None)
                 self._target = None
                 self._value = exc
                 self._ok = False
-                self.env._schedule(self, NORMAL)
+                env._schedule(self, NORMAL)
                 return
             except BaseException as exc:
-                self.env._active_process = None
-                self.env._processes.pop(self, None)
+                env._active_process = None
+                env._processes.pop(self, None)
                 self._target = None
                 self._value = exc
                 self._ok = False
-                self.env._schedule(self, NORMAL)
+                env._schedule(self, NORMAL)
                 return
 
             if not isinstance(target, Event):
-                self.env._active_process = None
-                self.env._processes.pop(self, None)
+                env._active_process = None
+                env._processes.pop(self, None)
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {target!r}"
                 )
                 try:
-                    self._generator.throw(exc)
+                    generator.throw(exc)
                 except StopIteration:
                     pass
                 except SimulationError:
                     pass
                 self._value = exc
                 self._ok = False
-                self.env._schedule(self, NORMAL)
+                env._schedule(self, NORMAL)
                 return
 
             if target.callbacks is not None:
                 # Not yet processed -- wait for it.
                 target.callbacks.append(self._resume)
                 self._target = target
-                self.env._active_process = None
+                env._active_process = None
                 return
             # Already processed: loop and resume immediately with its value.
             event = target
@@ -286,6 +342,8 @@ class Process(Event):
 
 class Condition(Event):
     """Base for AllOf / AnyOf composition over multiple events."""
+
+    __slots__ = ("_events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -321,6 +379,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every component event has triggered."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count >= len(self._events)
 
@@ -328,27 +388,40 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Triggers when at least one component event has triggered."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count >= 1
 
 
 class Environment:
-    """The simulation kernel: a clock and an event heap."""
+    """The simulation kernel: a clock and an event heap.
+
+    With the fast path enabled the pending set is ``heap + fast lane``:
+    ``_fast`` holds at most one entry — always replaced such that a pop
+    compares it against the heap top and takes the true global minimum,
+    so the processed order is bit-for-bit the plain-heap order.
+    """
+
+    __slots__ = ("now", "_queue", "_seq", "_active_process", "_processes",
+                 "_fast", "_timeout_pool")
 
     def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
+        #: current simulated time in seconds.  A plain slot, not a
+        #: property: model code reads the clock several times per event
+        #: callback, and descriptor dispatch was measurable there.
+        #: Treat as read-only outside the engine.
+        self.now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         #: insertion-ordered registry of processes whose coroutine has
         #: not finished; used by deadlock/watchdog diagnostics
         self._processes: dict[Process, None] = {}
-
-    # -- clock -------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        #: fast-lane entry (time, priority, seq, event) not yet heaped
+        self._fast: Optional[tuple[float, int, int, Event]] = None
+        #: recycled Timeout objects (sole-reference proven; see step())
+        self._timeout_pool: list[Timeout] = []
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -359,6 +432,21 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            # reuse a recycled Timeout: identical construction semantics
+            # (validation first, then field init, then scheduling)
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            event = pool.pop()
+            event.callbacks = []
+            event._value = value
+            event._ok = True
+            event._defused = False
+            event._scheduled = False
+            event.delay = delay
+            self._schedule(event, NORMAL, delay)
+            return event
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -374,11 +462,31 @@ class Environment:
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        entry = (self.now + delay, priority, self._seq, event)
+        if _FASTPATH:
+            fast = self._fast
+            if fast is None:
+                self._fast = entry
+                return
+            if entry < fast:
+                # keep the smaller of the two in the lane; sequence
+                # numbers are unique so the comparison never ties
+                self._fast = entry
+                entry = fast
+        heapq.heappush(self._queue, entry)
+
+    def _empty(self) -> bool:
+        return self._fast is None and not self._queue
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        fast = self._fast
+        queue = self._queue
+        if fast is not None:
+            if queue and queue[0][0] < fast[0]:
+                return queue[0][0]
+            return fast[0]
+        return queue[0][0] if queue else float("inf")
 
     # -- diagnostics --------------------------------------------------------
     def blocked_processes(self) -> list[Process]:
@@ -398,16 +506,25 @@ class Environment:
             "; blocked processes: " + ", ".join(report)
             if report else "; no processes blocked"
         )
-        return DeadlockError(f"{summary} (t={self._now:g}){detail}")
+        return DeadlockError(f"{summary} (t={self.now:g}){detail}")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
+        """Process exactly one event (the global minimum of the pending
+        set, in ``(time, priority, sequence)`` order)."""
+        fast = self._fast
+        queue = self._queue
+        if fast is not None and (not queue or fast < queue[0]):
+            self._fast = None
+            entry = fast
+        elif queue:
+            entry = heapq.heappop(queue)
+        else:
             raise self._deadlock("event queue empty")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:
+        when = entry[0]
+        event = entry[3]
+        if when < self.now:
             raise SimulationError("time went backwards")
-        self._now = when
+        self.now = when
         profiler = _PROFILER
         callbacks, event.callbacks = event.callbacks, None
         if profiler is None:
@@ -421,6 +538,17 @@ class Environment:
         if not event._ok and not event._defused:
             exc = event._value
             raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+        if _POOLING and type(event) is Timeout:
+            # Recycle only when the refcount proves this frame holds the
+            # sole remaining reference (entry/fast tuples dropped first)
+            # — an object any waiter could still observe never re-enters
+            # circulation, so reuse is unobservable.
+            entry = fast = None  # noqa: F841 - drop tuple references
+            if _getrefcount(event) == 2:
+                pool = self._timeout_pool
+                if len(pool) < _POOL_MAX:
+                    event._value = None
+                    pool.append(event)
 
     def run(
         self,
@@ -447,25 +575,26 @@ class Environment:
             time.monotonic() + max_wall_seconds
             if max_wall_seconds is not None else None
         )
+        # the guard runs per event; hoist the budget to one comparison
+        budget = max_events if max_events is not None else float("inf")
+        monotonic = time.monotonic
+        step = self.step
         processed = 0
 
-        def guarded_step() -> None:
-            nonlocal processed
-            processed += 1
-            if max_events is not None and processed > max_events:
-                raise self._watchdog(f"event budget of {max_events} exceeded",
-                                     processed - 1)
-            if (deadline is not None and processed % 512 == 0
-                    and time.monotonic() > deadline):
-                raise self._watchdog(
-                    f"wall-clock budget of {max_wall_seconds}s exceeded",
-                    processed - 1,
-                )
-            self.step()
-
         if until is None:
-            while self._queue:
-                guarded_step()
+            while self._queue or self._fast is not None:
+                processed += 1
+                if processed > budget:
+                    raise self._watchdog(
+                        f"event budget of {max_events} exceeded", processed - 1
+                    )
+                if (deadline is not None and processed % 512 == 0
+                        and monotonic() > deadline):
+                    raise self._watchdog(
+                        f"wall-clock budget of {max_wall_seconds}s exceeded",
+                        processed - 1,
+                    )
+                step()
             return None
         if isinstance(until, Event):
             sentinel: list[Any] = []
@@ -478,11 +607,22 @@ class Environment:
             else:
                 until.callbacks.append(_done)
             while not sentinel:
-                if not self._queue:
+                if self._fast is None and not self._queue:
                     raise self._deadlock(
                         "event queue drained before the awaited event triggered"
                     )
-                guarded_step()
+                processed += 1
+                if processed > budget:
+                    raise self._watchdog(
+                        f"event budget of {max_events} exceeded", processed - 1
+                    )
+                if (deadline is not None and processed % 512 == 0
+                        and monotonic() > deadline):
+                    raise self._watchdog(
+                        f"wall-clock budget of {max_wall_seconds}s exceeded",
+                        processed - 1,
+                    )
+                step()
             if not until._ok:
                 exc = until._value
                 until._defused = True
@@ -490,11 +630,22 @@ class Environment:
             return until._value
         # numeric horizon
         horizon = float(until)
-        if horizon < self._now:
-            raise SimulationError(f"horizon {horizon} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            guarded_step()
-        self._now = horizon
+        if horizon < self.now:
+            raise SimulationError(f"horizon {horizon} is in the past (now={self.now})")
+        while (self._queue or self._fast is not None) and self.peek() <= horizon:
+            processed += 1
+            if processed > budget:
+                raise self._watchdog(
+                    f"event budget of {max_events} exceeded", processed - 1
+                )
+            if (deadline is not None and processed % 512 == 0
+                    and monotonic() > deadline):
+                raise self._watchdog(
+                    f"wall-clock budget of {max_wall_seconds}s exceeded",
+                    processed - 1,
+                )
+            step()
+        self.now = horizon
         return None
 
     def _watchdog(self, summary: str, processed: int) -> WatchdogTimeout:
@@ -502,8 +653,8 @@ class Environment:
         roster = "; ".join(blocked) if blocked else "no processes blocked"
         return WatchdogTimeout(
             f"simulation watchdog: {summary} after {processed} events "
-            f"(t={self._now:g}); blocked processes: {roster}",
+            f"(t={self.now:g}); blocked processes: {roster}",
             events_processed=processed,
-            sim_time=self._now,
+            sim_time=self.now,
             blocked=blocked,
         )

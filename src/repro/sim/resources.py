@@ -22,6 +22,8 @@ from .engine import Environment, Event
 class Request(Event):
     """Pending acquisition of one slot of a :class:`Resource`."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -29,6 +31,8 @@ class Request(Event):
 
 class Release(Event):
     """Immediate event confirming a slot release."""
+
+    __slots__ = ("request",)
 
     def __init__(self, resource: "Resource", request: Request) -> None:
         super().__init__(resource.env)
@@ -38,6 +42,8 @@ class Release(Event):
 
 class Resource:
     """A pool of ``capacity`` identical service slots with FIFO queuing."""
+
+    __slots__ = ("env", "capacity", "users", "queue")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -80,6 +86,8 @@ class Resource:
 
 
 class PriorityRequest(Request):
+    __slots__ = ("priority",)
+
     def __init__(self, resource: "PriorityResource", priority: int) -> None:
         super().__init__(resource)
         self.priority = priority
@@ -90,6 +98,8 @@ class PriorityResource(Resource):
 
     Lower numbers are served first; ties break FIFO.
     """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         super().__init__(env, capacity)
@@ -131,10 +141,12 @@ class PriorityResource(Resource):
 
 
 class StoreGet(Event):
-    pass
+    __slots__ = ()
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, env: Environment, item: Any) -> None:
         super().__init__(env)
         self.item = item
@@ -142,6 +154,8 @@ class StorePut(Event):
 
 class Store:
     """A FIFO of items with blocking get and (optionally bounded) put."""
+
+    __slots__ = ("env", "capacity", "items", "_getters", "_putters")
 
     def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:

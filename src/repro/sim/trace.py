@@ -23,7 +23,7 @@ from typing import Any, Iterator, Optional
 from ..obs.span import Tracer
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One structured trace record."""
 

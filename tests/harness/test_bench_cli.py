@@ -51,6 +51,24 @@ class TestTrajectoryFile:
         stat = load_bench(str(out)).targets[FAST_TARGET].metrics
         assert stat["sim.latency_us"].std == 0.0
 
+    def test_runs_are_date_stamped(self, capsys, tmp_path):
+        out = tmp_path / "b.json"
+        _bench(capsys, "--repeats", "1", "--quiet",
+               "--targets", FAST_TARGET, "--out", str(out))
+        run = load_bench(str(out))
+        assert len(run.date.split("-")) == 3  # ISO yyyy-mm-dd
+
+    def test_history_appends_to_next_free_slot(self, capsys, tmp_path):
+        (tmp_path / "BENCH_3.json").write_text("{}")  # pre-existing slot
+        for expected in ("BENCH_4.json", "BENCH_5.json"):
+            code, _text = _bench(
+                capsys, "--repeats", "1", "--quiet",
+                "--targets", FAST_TARGET, "--history", str(tmp_path),
+            )
+            assert code == 0
+            run = load_bench(str(tmp_path / expected))
+            assert FAST_TARGET in run.targets
+
 
 class TestGate:
     @pytest.fixture()
@@ -150,6 +168,11 @@ class TestBenchSmoke:
         assert code == 0
         run = load_bench(str(baseline))
         assert set(run.targets) == set(BENCH_TARGETS)
+        for name, record in run.targets.items():
+            rate = record.metrics.get("events_per_sec")
+            assert rate is not None and rate.mean > 0, (
+                f"{name}: profiler reported no events/sec"
+            )
         code, text = _bench(
             capsys, "--repeats", "2", "--quiet",
             "--baseline", str(baseline), "--threshold", "0.25",
