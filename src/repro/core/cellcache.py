@@ -16,8 +16,10 @@ The key covers everything a cell's bytes can depend on:
 * the machine specification (full :class:`~repro.machines.base.Machine`
   record, recursively — any calibration or topology edit re-keys);
 * the benchmark configuration (every :class:`StudyConfig` field except
-  the execution-only knobs ``jobs``/``cache``/``cache_dir``, which are
-  byte-neutral by the determinism contract of DESIGN.md 5e);
+  the execution-only knobs — ``jobs``/``cache``/``cache_dir`` and the
+  supervision/checkpoint knobs ``cell_timeout``/``max_cell_retries``/
+  ``checkpoint`` — which are byte-neutral by the determinism contract
+  of DESIGN.md 5e/5g);
 * the seed derivation (the root seed is a config field; per-cell
   streams derive purely from ``(seed, cell path)``);
 * the fault plan (recursively, spec by spec);
@@ -58,7 +60,10 @@ CACHE_SCHEMA = 1
 #: StudyConfig knobs that steer *how* cells execute, not what they
 #: compute — byte-neutral by the determinism contract, so excluded
 #: from the key
-_EXECUTION_FIELDS = frozenset({"jobs", "cache", "cache_dir"})
+_EXECUTION_FIELDS = frozenset({
+    "jobs", "cache", "cache_dir",
+    "cell_timeout", "max_cell_retries", "checkpoint",
+})
 
 
 def default_cache_dir() -> Path:
@@ -128,6 +133,12 @@ class CellCache:
     ``cache.cell.*`` counters (no-ops under the null context).
     """
 
+    #: cache directories already warned about in this process — an
+    #: unwritable directory fails identically for every one of the
+    #: dozens of cells a study stores, and one notice covers them all
+    #: (the rest are counted in ``store_failed`` / ``cache.cell.*``)
+    _warned_unwritable: set = set()
+
     def __init__(self, directory: str | Path | None = None) -> None:
         self.directory = (
             Path(directory).expanduser() if directory else default_cache_dir()
@@ -136,10 +147,11 @@ class CellCache:
         self.misses = 0
         self.stores = 0
         self.invalidated = 0
+        self.store_failed = 0
 
     # -- bookkeeping -------------------------------------------------------
     _TALLY = {"hit": "hits", "miss": "misses", "store": "stores",
-              "invalidated": "invalidated"}
+              "invalidated": "invalidated", "store_failed": "store_failed"}
 
     def _count(self, what: str) -> None:
         attr = self._TALLY[what]
@@ -153,6 +165,7 @@ class CellCache:
             "misses": self.misses,
             "stores": self.stores,
             "invalidated": self.invalidated,
+            "store_failed": self.store_failed,
         }
 
     def _path(self, digest: str) -> Path:
@@ -232,11 +245,17 @@ class CellCache:
             )
             os.replace(tmp, path)
         except OSError as exc:
-            warnings.warn(
-                f"cannot write cell-cache entry {path}: {exc}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            self._count("store_failed")
+            marker = str(self.directory)
+            if marker not in CellCache._warned_unwritable:
+                CellCache._warned_unwritable.add(marker)
+                warnings.warn(
+                    f"cannot write cell-cache entry {path}: {exc} "
+                    f"(suppressing further warnings for {marker}; see "
+                    f"cache.cell.store_failed)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self._discard(tmp)
             return
         self._count("store")

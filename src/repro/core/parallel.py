@@ -15,29 +15,39 @@ time.  This module reconciles the two:
   and captures the complete cell outcome (statistic or degraded
   marker, resilience entries, tracer records, metric deltas, profiler
   counts) in a picklable :class:`CellOutcome`;
-* :class:`CellScheduler` fans tasks out on a
-  :class:`~concurrent.futures.ProcessPoolExecutor` and caches the
-  outcomes; the owning :class:`~repro.core.study.Study` then *consumes*
-  outcomes in the order its builders request cells — roster order —
-  so the resilience log, every ``study.*``/``sim.*`` metric, the trace
-  ring and the rendered tables are byte-identical at any jobs count.
+* :class:`CellScheduler` fans tasks out through a
+  :class:`~repro.core.supervisor.CellSupervisor` — a supervised worker
+  pool that survives killed/stalled workers with bounded retries, wall
+  deadlines and pool rebuilds — and caches/journals the outcomes; the
+  owning :class:`~repro.core.study.Study` then *consumes* outcomes in
+  the order its builders request cells — roster order — so the
+  resilience log, every ``study.*``/``sim.*`` metric, the trace ring
+  and the rendered tables are byte-identical at any jobs count.
 
-Determinism contract (DESIGN.md 5e): result values depend only on
+Determinism contract (DESIGN.md 5e/5g): result values depend only on
 ``(seed, cell)``; merge effects depend only on consumption order, which
-the builders fix; host wall-times are the only fields that vary run to
-run, and every consumer treats them as advisory.
+the builders fix; host wall-times and the execution-layer instruments
+(``supervisor.*``, ``checkpoint.*``, ``cache.*``) are the only fields
+that vary run to run, and every consumer treats them as advisory.
+
+Process-level chaos (:class:`~repro.faults.models.WorkerCrash`,
+:class:`~repro.faults.models.WorkerStall`) is applied here, in
+:func:`execute_cell`, keyed on the cell's 1-based roster ordinal and
+dispatch attempt — and only when a supervised dispatch passes an
+ordinal, so the serial in-process path can never SIGKILL the parent.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..benchmarks.osu.runner import PairKind
 from ..errors import BenchmarkConfigError
+from ..faults.models import WorkerCrash, WorkerStall
 from ..machines.registry import (
     CPU_MACHINE_NAMES,
     GPU_MACHINE_NAMES,
@@ -157,11 +167,31 @@ class CellOutcome:
     wall_seconds: float = 0.0
 
 
+def _apply_worker_chaos(plan, ordinal: int, attempt: int) -> None:
+    """Fire any armed process-level chaos for this dispatch.
+
+    Stalls apply before crashes so a combined plan exercises the
+    deadline path first.  The crash is a real ``SIGKILL`` of the
+    current process — exactly the failure mode the supervisor exists
+    to contain — so this must only ever run inside a sacrificial
+    worker (``ordinal > 0`` guarantees a supervised dispatch).
+    """
+    for spec in plan.of_kind(WorkerStall):
+        if spec.fires(ordinal, attempt):
+            time.sleep(spec.seconds)
+    for spec in plan.of_kind(WorkerCrash):
+        if spec.fires(ordinal, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
 def execute_cell(
     config: "StudyConfig",
     task: CellTask,
     obs_enabled: bool,
     profile: bool,
+    *,
+    ordinal: int = 0,
+    attempt: int = 1,
 ) -> CellOutcome:
     """Run one cell in isolation (the worker-process entry point).
 
@@ -172,15 +202,23 @@ def execute_cell(
     uses: bounded retries stay inside the worker, the cell span and
     ``study.cell.*`` counters land in the worker's own context, and the
     whole bundle ships home as one :class:`CellOutcome`.
+
+    ``ordinal``/``attempt`` identify a *supervised* dispatch (1-based
+    roster position and attempt number); they exist solely so armed
+    ``WorkerCrash``/``WorkerStall`` chaos can fire deterministically.
+    The default ``ordinal=0`` marks an in-process call and disarms
+    chaos entirely.
     """
     from .study import Study
 
     started = time.perf_counter()
-    study = Study(replace(config, jobs=1, cache=False))
+    study = Study(replace(config, jobs=1, cache=False, checkpoint=None))
     ctx = (
         ObsContext.create(profile=profile, record_values=True)
         if obs_enabled else NULL_CONTEXT
     )
+    if ordinal and config.faults is not None:
+        _apply_worker_chaos(config.faults, ordinal, attempt)
     with obs.observability(ctx):
         result = task.run_on(study)
     return CellOutcome(
@@ -223,6 +261,15 @@ class CellScheduler:
             from .cellcache import CellCache
 
             self.cache = CellCache(config.cache_dir)
+        #: crash-safe checkpoint journal (``--resume``); consulted before
+        #: the cache and appended to as every cell completes
+        self.journal = None
+        if config.checkpoint:
+            from .checkpoint import CheckpointJournal
+
+            self.journal = CheckpointJournal(config.checkpoint)
+        #: one supervisor per scheduled group pass, kept for stats()
+        self._supervisors: list = []
         self._outcomes: dict[tuple[str, ...], CellOutcome] = {}
         self._groups_done: set[str] = set()
         #: advisory metadata: host wall time per executed cell label
@@ -252,42 +299,64 @@ class CellScheduler:
         obs_enabled = bool(ctx.enabled)
         profile = ctx.profiler is not None
         tasks = plan_tasks(group)
-        config = replace(self.config, jobs=1, cache=False)
+        config = replace(self.config, jobs=1, cache=False, checkpoint=None)
         started = time.perf_counter()
         by_task: dict[CellTask, CellOutcome] = {}
-        pending = list(tasks)
-        if self.cache is not None:
-            pending = []
-            for task in tasks:
-                cached = self.cache.load(config, task, obs_enabled, profile)
-                if cached is not None:
-                    by_task[task] = cached
-                else:
-                    pending.append(task)
-        if pending:
-            workers = min(self.jobs, len(pending))
-            if workers > 1:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(
-                            execute_cell, config, task, obs_enabled, profile
-                        )
-                        for task in pending
-                    ]
-                    computed = [future.result() for future in futures]
-            else:
-                # serial (--cache without --jobs): compute misses
-                # in-process through the same worker entry point, so
-                # cached and fresh outcomes merge identically
-                computed = [
-                    execute_cell(config, task, obs_enabled, profile)
-                    for task in pending
-                ]
-            for task, outcome in zip(pending, computed):
+        #: (1-based roster ordinal, task) — the ordinal is stable across
+        #: journal replays and cache hits, which is what keeps chaos
+        #: specs and resume runs deterministic
+        pending: list[tuple[int, CellTask]] = []
+        for ordinal, task in enumerate(tasks, start=1):
+            outcome = None
+            if self.journal is not None:
+                outcome = self.journal.lookup(config, task, obs_enabled,
+                                              profile)
+            if outcome is None and self.cache is not None:
+                outcome = self.cache.load(config, task, obs_enabled, profile)
+                if outcome is not None and self.journal is not None:
+                    # a cache hit is a completed cell: journal it so a
+                    # later resume no longer depends on the cache
+                    self.journal.record(config, task, obs_enabled, profile,
+                                        outcome)
+            if outcome is not None:
                 by_task[task] = outcome
-                if self.cache is not None:
-                    self.cache.store(config, task, obs_enabled, profile,
-                                     outcome)
+            else:
+                pending.append((ordinal, task))
+
+        def complete(ordinal: int, task: CellTask, outcome: CellOutcome,
+                     cacheable: bool) -> None:
+            by_task[task] = outcome
+            if not cacheable:
+                # supervisor-degraded (host crash/deadline): never let a
+                # host event poison the cache or the journal
+                return
+            if self.journal is not None:
+                self.journal.record(config, task, obs_enabled, profile,
+                                    outcome)
+            if self.cache is not None:
+                self.cache.store(config, task, obs_enabled, profile, outcome)
+
+        if pending:
+            if self.jobs > 1:
+                from .supervisor import CellSupervisor
+
+                supervisor = CellSupervisor(
+                    config,
+                    min(self.jobs, len(pending)),
+                    cell_timeout=self.config.cell_timeout,
+                    max_cell_retries=self.config.max_cell_retries,
+                )
+                self._supervisors.append(supervisor)
+                supervisor.run(pending, obs_enabled, profile, complete)
+            else:
+                # serial (--cache/--resume without --jobs): compute
+                # misses in-process through the same worker entry point,
+                # so replayed and fresh outcomes merge identically.
+                # ordinal=0 keeps process chaos disarmed in-process.
+                for ordinal, task in pending:
+                    complete(ordinal, task,
+                             execute_cell(config, task, obs_enabled, profile),
+                             True)
         self.group_wall_seconds[group] = time.perf_counter() - started
         for task in tasks:
             outcome = by_task[task]
@@ -321,4 +390,17 @@ class CellScheduler:
         }
         if self.cache is not None:
             out["cache"] = self.cache.stats()
+        if self.journal is not None:
+            out["checkpoint"] = self.journal.stats()
+        if self.jobs > 1:
+            # always present under --jobs (zeros included) so bench
+            # advisory fields are stable run to run
+            totals = {
+                "dispatched": 0, "retried": 0, "timeouts": 0,
+                "pool_rebuilds": 0, "degraded": 0,
+            }
+            for supervisor in self._supervisors:
+                for key, value in supervisor.stats.as_dict().items():
+                    totals[key] += value
+            out["supervisor"] = totals
         return out

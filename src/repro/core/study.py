@@ -34,7 +34,7 @@ from ..benchmarks.osu.runner import (
     device_latency_by_class,
     latency_for_pair,
 )
-from ..errors import BenchmarkConfigError
+from ..errors import BenchmarkConfigError, CellExecutionError, ReproError
 from ..faults import FaultPlan, make_injector
 from ..hardware.topology import LinkClass
 from ..machines.base import Machine
@@ -82,6 +82,16 @@ class StudyConfig:
     cache: bool = False
     #: cache directory override (None = ``~/.cache/repro``)
     cache_dir: str | None = None
+    #: per-cell wall deadline under ``jobs`` > 1 (seconds); a worker
+    #: running one cell past it is killed and the cell retried.  None
+    #: (the default) disarms the deadline.
+    cell_timeout: float | None = None
+    #: extra dispatch attempts per cell after a worker crash/deadline
+    #: kill before the cell degrades to a ``—†`` marker
+    max_cell_retries: int = 2
+    #: checkpoint journal path (``--resume``); completed cells append
+    #: as they finish and replay on the next run.  None = no journal.
+    checkpoint: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.runs, int) or self.runs < 1:
@@ -122,6 +132,28 @@ class StudyConfig:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise BenchmarkConfigError(
                 f"faults must be a FaultPlan or None: {self.faults!r}"
+            )
+        if self.cell_timeout is not None and (
+            not isinstance(self.cell_timeout, (int, float))
+            or isinstance(self.cell_timeout, bool)
+            or self.cell_timeout <= 0
+        ):
+            raise BenchmarkConfigError(
+                f"cell_timeout must be a positive number or None: "
+                f"{self.cell_timeout!r}"
+            )
+        if (
+            not isinstance(self.max_cell_retries, int)
+            or isinstance(self.max_cell_retries, bool)
+            or self.max_cell_retries < 0
+        ):
+            raise BenchmarkConfigError(
+                f"max_cell_retries must be an int >= 0: "
+                f"{self.max_cell_retries!r}"
+            )
+        if self.checkpoint is not None and not isinstance(self.checkpoint, str):
+            raise BenchmarkConfigError(
+                f"checkpoint must be a str or None: {self.checkpoint!r}"
             )
         sizes = self.latency_sweep_sizes
         if sizes is not None:
@@ -175,12 +207,17 @@ class Study:
         #: is what keeps ``--faults none`` byte-identical to pre-fault runs
         self.injector = make_injector(self.config.faults, self.streams)
         self.resilience = ResilienceLog()
-        #: fans cells out to worker processes when ``jobs`` resolves to
-        #: more than one, and/or serves cells from the persistent result
-        #: cache under ``config.cache``; ``None`` keeps the exact serial
-        #: code path
+        #: fans cells out to supervised worker processes when ``jobs``
+        #: resolves to more than one, and/or serves cells from the
+        #: persistent result cache (``config.cache``) or the checkpoint
+        #: journal (``config.checkpoint``); ``None`` keeps the exact
+        #: serial code path
         self.scheduler = None
-        if resolve_jobs(self.config.jobs) > 1 or self.config.cache:
+        if (
+            resolve_jobs(self.config.jobs) > 1
+            or self.config.cache
+            or self.config.checkpoint
+        ):
             self.scheduler = CellScheduler(self.config)
 
     # ------------------------------------------------------------------
@@ -230,13 +267,25 @@ class Study:
                 return self._consume(outcome)
         ctx = obs.current()
         with ctx.tracer.span("/".join(label), "study") as span:
-            result = run_cell(
-                fn,
-                label=label,
-                injector=self.injector,
-                max_retries=self.config.max_retries,
-                log=self.resilience,
-            )
+            try:
+                result = run_cell(
+                    fn,
+                    label=label,
+                    injector=self.injector,
+                    max_retries=self.config.max_retries,
+                    log=self.resilience,
+                )
+            except (ReproError, CellExecutionError):
+                raise
+            except Exception as exc:
+                # a genuine bug in the cell: name the cell before the
+                # traceback leaves this process (it may be pickled back
+                # from a worker), and never degrade it into a ``—†``
+                raise CellExecutionError(
+                    f"benchmark cell {'/'.join(label)} "
+                    f"(seed {self.config.seed}) raised "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
             if ctx.enabled:
                 lost = degraded_in(result)
                 if lost:

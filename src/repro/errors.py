@@ -95,6 +95,16 @@ class BenchmarkConfigError(ReproError, ValueError):
     """A benchmark was configured with invalid parameters."""
 
 
+class CellExecutionError(RuntimeError):
+    """A benchmark cell raised a genuine bug (not an injected fault).
+
+    Wraps the original exception with the cell's identity — machine,
+    benchmark label and study seed — so a failure surfacing from a
+    worker process names the cell instead of arriving as a bare pickled
+    traceback.  Deliberately *not* a :class:`ReproError`: programming
+    bugs must propagate, never degrade into a ``—†`` table cell."""
+
+
 class ObservabilityError(RuntimeError):
     """Misuse of the observability layer (span exit-order violation,
     instrument type conflict, bad instrument name).

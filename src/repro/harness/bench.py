@@ -196,6 +196,16 @@ def _table4_slice(machine_name: str, runs: int, jobs: int = 1) -> Callable:
                     sum(walls) / len(walls) if walls else 0.0,
                 "parallel.cell_wall_max_s": max(walls) if walls else 0.0,
             }
+            supervisor = stats.get("supervisor")
+            if supervisor is not None:
+                # recovery activity on this host: zero on a healthy run,
+                # advisory either way (gate=False)
+                outcome.advisory["supervisor.retries"] = float(
+                    supervisor["retried"]
+                )
+                outcome.advisory["supervisor.pool_rebuilds"] = float(
+                    supervisor["pool_rebuilds"]
+                )
         return outcome
 
     return run
@@ -327,11 +337,13 @@ def run_bench(
                 events_rates, "1/s", "higher"
             )
         for name, values in advisory_samples.items():
-            record.metrics[name] = _advisory(
-                values,
-                "s" if "wall" in name else "workers",
-                "lower" if "wall" in name else "higher",
-            )
+            if name.startswith("supervisor."):
+                unit, better = "count", "lower"
+            elif "wall" in name:
+                unit, better = "s", "lower"
+            else:
+                unit, better = "workers", "higher"
+            record.metrics[name] = _advisory(values, unit, better)
         record.attribution = [
             a.to_json() for a in attributions[:_MAX_ATTRIBUTIONS]
         ]

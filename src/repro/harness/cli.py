@@ -18,11 +18,18 @@ Usage::
     python -m repro selfcheck --parallel   # serial-vs-parallel digest check
     python -m repro bench --repeats 5 --out BENCH_1.json
     python -m repro bench --baseline BENCH_baseline.json   # exit 4 on regression
+    python -m repro table4 --jobs 4 --cell-timeout 120   # kill+retry slow cells
+    python -m repro all --resume study.ckpt   # journal cells; replay on rerun
+    python -m repro selfcheck --chaos    # crash-recovery smoke suite
 
 Under ``--faults <profile>`` individual benchmark cells may be killed by
 injected node failures; after bounded retries they are rendered as the
 ``—†`` degraded marker with a footnote, and the process exits with
-status 3 (completed, but degraded) instead of 0.
+status 3 (completed, but degraded) instead of 0.  Under ``--jobs`` the
+same contract covers *host* failures: a crashed or stalled worker is
+retried in a rebuilt pool (``--max-cell-retries``), and only on
+exhaustion does the cell degrade — with a ``worker failure`` footnote
+and the same exit status 3.
 
 ``--trace-out``/``--metrics-out``/``--profile`` switch observability on
 for the run: spans, counters and the event-loop profiler flow to the
@@ -136,6 +143,7 @@ def run_target(
     obs_smoke: bool = False,
     parallel_smoke: bool = False,
     cache_smoke: bool = False,
+    chaos_smoke: bool = False,
 ) -> str:
     """Produce the output text for one CLI target."""
     if target == "table1":
@@ -181,7 +189,7 @@ def run_target(
     if target == "selfcheck":
         return _run_selfcheck_target(
             study, obs_smoke=obs_smoke, parallel_smoke=parallel_smoke,
-            cache_smoke=cache_smoke,
+            cache_smoke=cache_smoke, chaos_smoke=chaos_smoke,
         )
     raise ValueError(f"unknown target: {target}")
 
@@ -191,19 +199,23 @@ def _run_selfcheck_target(
     obs_smoke: bool = False,
     parallel_smoke: bool = False,
     cache_smoke: bool = False,
+    chaos_smoke: bool = False,
 ) -> str:
     """``selfcheck``: structural checks, plus the fault smoke suite
     whenever a fault plan is armed (``--faults smoke`` in CI), the
     observability smoke suite under ``--obs smoke``, the
-    parallel-equivalence smoke suite under ``--parallel``, and the
-    cell-cache smoke suite under ``--cache``."""
+    parallel-equivalence smoke suite under ``--parallel``, the
+    cell-cache smoke suite under ``--cache``, and the crash-recovery
+    smoke suite under ``--chaos``."""
     from .selfcheck import (
         render_cache_smoke,
+        render_chaos_smoke,
         render_fault_smoke,
         render_obs_smoke,
         render_parallel_smoke,
         render_selfcheck,
         run_cache_smoke,
+        run_chaos_smoke,
         run_fault_smoke,
         run_obs_smoke,
         run_parallel_smoke,
@@ -219,6 +231,8 @@ def _run_selfcheck_target(
         parts.append(render_parallel_smoke(run_parallel_smoke()))
     if cache_smoke:
         parts.append(render_cache_smoke(run_cache_smoke()))
+    if chaos_smoke:
+        parts.append(render_chaos_smoke(run_chaos_smoke()))
     return "\n".join(parts)
 
 
@@ -337,6 +351,23 @@ def main(argv: list[str] | None = None) -> int:
         help="cell-cache directory (implies --cache unless --no-cache)",
     )
     parser.add_argument(
+        "--resume", type=str, default="", metavar="JOURNAL",
+        help="checkpoint journal file: completed cells append as they "
+             "finish, and a rerun pointing at the same file replays them "
+             "instead of recomputing; output is byte-identical to an "
+             "uninterrupted run",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall deadline under --jobs: a worker running one "
+             "cell past it is killed and the cell retried (default: none)",
+    )
+    parser.add_argument(
+        "--max-cell-retries", type=int, default=2, metavar="N",
+        help="extra dispatch attempts per cell after a worker crash or "
+             "deadline kill before the cell degrades to —† (default: 2)",
+    )
+    parser.add_argument(
         "--output", type=str, default="",
         help="write the (last) target's output to this file as well",
     )
@@ -364,6 +395,11 @@ def main(argv: list[str] | None = None) -> int:
              "selfcheck target",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the crash-recovery smoke suite (worker kills, retry, "
+             "checkpoint resume) under the selfcheck target",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress all stderr reports (resilience, profile, file "
              "notices); stdout is unchanged",
@@ -380,6 +416,9 @@ def main(argv: list[str] | None = None) -> int:
             runs=args.runs, seed=args.seed, exact=args.exact,
             faults=plan, max_retries=args.max_retries, jobs=args.jobs,
             cache=cache, cache_dir=args.cache_dir or None,
+            cell_timeout=args.cell_timeout,
+            max_cell_retries=args.max_cell_retries,
+            checkpoint=args.resume or None,
         ))
     except ReproError as exc:
         parser.error(str(exc))
@@ -415,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
                 obs_smoke=args.obs == "smoke",
                 parallel_smoke=args.parallel,
                 cache_smoke=cache,
+                chaos_smoke=args.chaos,
             )
             print(f"==> {target}")
             print(text)
@@ -423,8 +463,9 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
         _stderr_report(f"wrote {args.output}", args.quiet)
-    if study.injector is not None:
-        # the summary goes to stderr so stdout stays pure table text
+    if study.injector is not None or study.resilience.degraded_count:
+        # the summary goes to stderr so stdout stays pure table text;
+        # crash-degraded cells report even under --faults none
         _stderr_report(study.resilience.summary(), args.quiet)
     if study.scheduler is not None and study.scheduler.cache is not None:
         stats = study.scheduler.cache.stats()
@@ -432,6 +473,14 @@ def main(argv: list[str] | None = None) -> int:
             f"cell cache: {stats['hits']} hit(s), {stats['misses']} "
             f"miss(es), {stats['stores']} store(s), "
             f"{stats['invalidated']} invalidated under {stats['directory']}",
+            args.quiet,
+        )
+    if study.scheduler is not None and study.scheduler.journal is not None:
+        stats = study.scheduler.journal.stats()
+        _stderr_report(
+            f"checkpoint: {stats['replayed']} replayed, {stats['recorded']} "
+            f"recorded, {stats['corrupt']} corrupt line(s) under "
+            f"{stats['path']}",
             args.quiet,
         )
     if ctx.enabled:
@@ -450,7 +499,9 @@ def main(argv: list[str] | None = None) -> int:
         _stderr_report(
             text_summary(ctx.tracer, ctx.metrics, ctx.profiler), args.quiet
         )
-    if study.injector is not None and study.resilience.degraded_count:
+    if study.resilience.degraded_count:
+        # injected faults *and* real worker failures land here: the
+        # tables rendered, but some cells carry the —† marker
         return EXIT_DEGRADED
     return 0
 

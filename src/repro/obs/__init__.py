@@ -19,8 +19,10 @@ stays byte-identical to an uninstrumented build.
 """
 
 from .export import (
+    EXECUTION_NAMESPACES,
     chrome_trace,
     metrics_snapshot,
+    simulation_metrics,
     text_summary,
     write_chrome_trace,
     write_metrics,
@@ -79,6 +81,8 @@ __all__ = [
     "observe",
     "chrome_trace",
     "metrics_snapshot",
+    "simulation_metrics",
+    "EXECUTION_NAMESPACES",
     "text_summary",
     "write_chrome_trace",
     "write_metrics",

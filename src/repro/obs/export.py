@@ -135,6 +135,29 @@ def metrics_snapshot(registry) -> dict:
     }
 
 
+#: instrument namespaces that describe how a run *executed* — worker
+#: supervision, checkpoint replay, cache traffic — rather than what it
+#: computed.  They are advisory like host wall-times (DESIGN.md 5g):
+#: a crashed-and-recovered parallel run bumps ``supervisor.*`` while
+#: producing byte-identical simulation results, so determinism
+#: comparisons go through :func:`simulation_metrics` to exclude them.
+EXECUTION_NAMESPACES = ("supervisor.", "checkpoint.", "cache.")
+
+
+def simulation_metrics(snapshot: dict) -> dict:
+    """A copy of a :func:`metrics_snapshot` without execution-layer
+    instruments — the part of the taxonomy the determinism contract
+    covers byte for byte."""
+    return {
+        **snapshot,
+        "instruments": {
+            name: entry
+            for name, entry in snapshot.get("instruments", {}).items()
+            if not name.startswith(EXECUTION_NAMESPACES)
+        },
+    }
+
+
 def write_metrics(path: str, registry) -> None:
     with open(path, "w") as fh:
         json.dump(metrics_snapshot(registry), fh, indent=1, sort_keys=True)

@@ -70,6 +70,13 @@ class TestKey:
             replace(config, cache=True, cache_dir="/elsewhere"),
             task, False, False,
         )[0] == digest
+        # supervision/checkpoint knobs are execution-only too: a resumed
+        # or deadline-armed run must keep hitting the same entries
+        assert cell_key(
+            replace(config, cell_timeout=30.0, max_cell_retries=5,
+                    checkpoint="study.ckpt"),
+            task, False, False,
+        )[0] == digest
 
 
 class TestHitMiss:
@@ -136,6 +143,36 @@ class TestCorruption:
             text = _render(study)
         assert study.scheduler.cache.stats()["stores"] == 0
         assert text == _render(Study(StudyConfig(runs=2, seed=77)))
+
+    def test_unwritable_directory_warns_once_and_counts_the_rest(
+            self, tmp_path):
+        # a study stores dozens of cells; an unwritable directory must
+        # produce ONE warning, with the rest tallied in store_failed
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            study = _study(blocked)
+            _render(study)
+        cache_warnings = [
+            w for w in caught
+            if "cannot write cell-cache entry" in str(w.message)
+        ]
+        assert len(cache_warnings) == 1
+        stats = study.scheduler.cache.stats()
+        assert stats["store_failed"] == stats["misses"] > 1
+        assert stats["stores"] == 0
+
+        # a second study against the same directory stays silent
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            again = _study(blocked)
+            _render(again)
+        assert not [
+            w for w in caught
+            if "cannot write cell-cache entry" in str(w.message)
+        ]
+        assert again.scheduler.cache.stats()["store_failed"] > 1
 
 
 class TestVersionInvalidation:

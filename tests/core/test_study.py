@@ -32,6 +32,49 @@ class TestConfig:
     def test_valid_jobs_accepted(self, ok):
         assert StudyConfig(runs=2, jobs=ok).jobs == ok
 
+    @pytest.mark.parametrize("bad", [0, -1.0, True, "30"])
+    def test_invalid_cell_timeout_rejected(self, bad):
+        with pytest.raises(BenchmarkConfigError):
+            StudyConfig(runs=2, cell_timeout=bad)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, None])
+    def test_invalid_max_cell_retries_rejected(self, bad):
+        with pytest.raises(BenchmarkConfigError):
+            StudyConfig(runs=2, max_cell_retries=bad)
+
+    def test_invalid_checkpoint_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            StudyConfig(runs=2, checkpoint=123)
+
+    def test_checkpoint_alone_arms_scheduler(self, tmp_path):
+        study = Study(StudyConfig(
+            runs=2, checkpoint=str(tmp_path / "j.ckpt"),
+        ))
+        assert study.scheduler is not None
+        assert study.scheduler.journal is not None
+
+
+class TestCellExecutionError:
+    def test_bug_in_cell_is_wrapped_with_identity(self, monkeypatch):
+        # a genuine programming error must surface as CellExecutionError
+        # naming the cell — and never degrade into a —† marker
+        from repro.errors import CellExecutionError
+        from repro.machines.registry import get_machine
+
+        study = Study(StudyConfig(runs=2, seed=7))
+        monkeypatch.setattr(
+            Study, "_cpu_bandwidth",
+            lambda self, machine, single: 1 / 0,
+        )
+        with pytest.raises(CellExecutionError) as excinfo:
+            study.cpu_bandwidth(get_machine("sawtooth"), single_thread=True)
+        message = str(excinfo.value)
+        assert "Sawtooth/babelstream-cpu/single" in message
+        assert "seed 7" in message
+        assert "ZeroDivisionError" in message
+        assert isinstance(excinfo.value.__cause__, ZeroDivisionError)
+        assert study.resilience.degraded_count == 0
+
 
 class TestStatistics:
     def test_sample_count_matches_runs(self, fast_study, sawtooth):

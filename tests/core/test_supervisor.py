@@ -1,0 +1,161 @@
+"""The cell supervisor: crash containment, deadlines, retry budgets.
+
+These tests drive :class:`CellSupervisor` directly with tiny task
+lists and deterministic process chaos (``WorkerCrash``/``WorkerStall``)
+so every recovery path runs in seconds: a killed worker is retried to
+the same bytes a clean run produces, a deadline kill flows through the
+same path, an always-crashing cell degrades with a ``worker failure``
+footnote after its budget, and a genuine exception transfers instead of
+being retried.  ``backoff_base=0`` removes the recovery sleeps.
+"""
+
+import pytest
+
+from repro.core.parallel import CellOutcome, CellTask, execute_cell
+from repro.core.resilience import Degraded
+from repro.core.study import StudyConfig
+from repro.core.supervisor import CellSupervisor
+from repro.errors import BenchmarkConfigError
+from repro.faults import FaultPlan, WorkerCrash, WorkerStall
+
+pytestmark = pytest.mark.chaos
+
+TASKS = (
+    CellTask("sawtooth", "cpu_bandwidth", "single"),
+    CellTask("sawtooth", "host_latency", "on-socket"),
+)
+
+
+def _config(**overrides) -> StudyConfig:
+    return StudyConfig(**{"runs": 2, "seed": 7, **overrides})
+
+
+def _run(config, items, **kwargs) -> tuple[dict, dict, CellSupervisor]:
+    """Drive a supervisor; returns (outcomes, cacheable flags, it)."""
+    supervisor = CellSupervisor(
+        config, workers=2, backoff_base=0.0, **kwargs
+    )
+    outcomes, cacheable = {}, {}
+
+    def complete(ordinal, task, outcome, ok):
+        outcomes[ordinal] = outcome
+        cacheable[ordinal] = ok
+
+    supervisor.run(list(items), False, False, complete)
+    return outcomes, cacheable, supervisor
+
+
+def _serial_results(config):
+    """What an unsupervised in-process pass computes for TASKS."""
+    return {
+        i: execute_cell(config, task, False, False).result
+        for i, task in enumerate(TASKS, start=1)
+    }
+
+
+class TestCleanPath:
+    def test_all_cells_complete_with_serial_results(self):
+        config = _config()
+        outcomes, cacheable, supervisor = _run(
+            config, list(enumerate(TASKS, start=1))
+        )
+        assert set(outcomes) == {1, 2}
+        assert all(cacheable.values())
+        serial = _serial_results(config)
+        for ordinal, outcome in outcomes.items():
+            assert isinstance(outcome, CellOutcome)
+            assert outcome.result == serial[ordinal]
+        stats = supervisor.stats
+        assert stats.dispatched == 2
+        assert stats.retried == stats.pool_rebuilds == stats.degraded == 0
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_retried_to_identical_results(self):
+        plan = FaultPlan("t", (WorkerCrash(at_cell=1, crashes=1),))
+        config = _config(faults=plan)
+        outcomes, cacheable, supervisor = _run(
+            config, list(enumerate(TASKS, start=1))
+        )
+        assert set(outcomes) == {1, 2}
+        assert all(cacheable.values())
+        # worker chaos is byte-neutral: the recovered results equal the
+        # clean serial pass (ordinal=0 disarms the plan in-process)
+        serial = _serial_results(config)
+        for ordinal, outcome in outcomes.items():
+            assert outcome.result == serial[ordinal]
+        assert supervisor.stats.retried >= 1
+        assert supervisor.stats.pool_rebuilds >= 1
+        assert supervisor.stats.degraded == 0
+
+    def test_in_process_execute_never_fires_chaos(self):
+        # ordinal=0 (the default) must disarm WorkerCrash entirely —
+        # if it did not, this very test process would be SIGKILLed
+        plan = FaultPlan("t", (WorkerCrash(at_cell=1, crashes=99),))
+        outcome = execute_cell(_config(faults=plan), TASKS[0], False, False)
+        assert not isinstance(outcome.result, Degraded)
+
+
+class TestExhaustion:
+    def test_always_crashing_cell_degrades_with_footnote(self):
+        plan = FaultPlan("t", (WorkerCrash(at_cell=1, crashes=99),))
+        config = _config(faults=plan)
+        outcomes, cacheable, supervisor = _run(
+            config, list(enumerate(TASKS, start=1)), max_cell_retries=1,
+        )
+        entry = outcomes[1].result
+        assert isinstance(entry, Degraded)
+        assert "worker failure" in entry.reason
+        assert entry.attempts == 2  # 1 initial + max_cell_retries
+        assert cacheable[1] is False  # host events must not be cached
+        assert outcomes[1].degraded == [entry]
+        assert supervisor.stats.degraded == 1
+        # the sibling cell still completes normally
+        assert cacheable[2] is True
+        assert not isinstance(outcomes[2].result, Degraded)
+
+    def test_zero_retries_degrades_on_first_crash(self):
+        plan = FaultPlan("t", (WorkerCrash(at_cell=1, crashes=99),))
+        outcomes, _, supervisor = _run(
+            _config(faults=plan), [(1, TASKS[0])], max_cell_retries=0,
+        )
+        entry = outcomes[1].result
+        assert isinstance(entry, Degraded) and entry.attempts == 1
+        assert supervisor.stats.retried == 0
+
+
+class TestDeadline:
+    def test_stalled_worker_is_killed_and_retried(self):
+        plan = FaultPlan("t", (WorkerStall(at_cell=1, seconds=30.0),))
+        config = _config(faults=plan)
+        outcomes, cacheable, supervisor = _run(
+            config, list(enumerate(TASKS, start=1)), cell_timeout=0.5,
+        )
+        assert all(cacheable.values())
+        serial = _serial_results(config)
+        for ordinal, outcome in outcomes.items():
+            assert outcome.result == serial[ordinal]
+        assert supervisor.stats.timeouts >= 1
+        assert supervisor.stats.degraded == 0
+
+    def test_persistent_stall_degrades_with_deadline_reason(self):
+        plan = FaultPlan("t", (WorkerStall(at_cell=1, seconds=30.0,
+                                           stalls=99),))
+        outcomes, cacheable, _ = _run(
+            _config(faults=plan), [(1, TASKS[0])],
+            cell_timeout=0.3, max_cell_retries=1,
+        )
+        entry = outcomes[1].result
+        assert isinstance(entry, Degraded)
+        assert "worker failure" in entry.reason
+        assert "deadline" in entry.reason
+        assert cacheable[1] is False
+
+
+class TestBugPropagation:
+    def test_transferred_exception_is_raised_not_retried(self):
+        # an exception the worker *raises* (vs the worker dying) is a
+        # bug in the cell; the supervisor must surface it unchanged
+        bad = CellTask("sawtooth", "no_such_method")
+        with pytest.raises(BenchmarkConfigError, match="no_such_method"):
+            _run(_config(), [(1, bad)])

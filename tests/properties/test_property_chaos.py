@@ -1,0 +1,172 @@
+"""Chaos properties: crashed workers and killed runs leave no trace.
+
+Two acceptance contracts (DESIGN.md 5g):
+
+* **crash transparency** — a run whose workers are deterministically
+  SIGKILLed mid-study (``WorkerCrash``) renders tables, resilience
+  logs, artifacts and simulation metrics byte-identical to a clean
+  serial run at any jobs count; the only evidence is the advisory
+  ``supervisor.*`` instruments.
+* **resume transparency** — a study killed partway (simulated by
+  truncating its checkpoint journal, torn final line included) and
+  rerun with ``--resume`` replays the journaled cells, recomputes the
+  rest, and emits byte-identical final output.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.core.tables import build_table4, build_table5, render_table4
+from repro.faults import FaultPlan, WorkerCrash, WorkerStall
+from repro.harness.cli import main
+from repro.obs import ObsContext, metrics_snapshot, simulation_metrics
+from repro.obs import runtime as obs
+
+pytestmark = pytest.mark.chaos
+
+CRASH_PLAN = FaultPlan(
+    "crash-only",
+    (WorkerCrash(at_cell=3, crashes=1), WorkerCrash(at_cell=11, crashes=2)),
+)
+
+
+def _outputs(jobs: int, plan=None):
+    ctx = ObsContext.create()
+    with obs.observability(ctx):
+        study = Study(StudyConfig(runs=2, seed=404, jobs=jobs, faults=plan))
+        tables = (build_table4(study), build_table5(study))
+    return {
+        "tables": tables,
+        "resilience": list(study.resilience.entries),
+        "metrics": simulation_metrics(metrics_snapshot(ctx.metrics)),
+        "supervisor": (study.parallel_stats() or {}).get("supervisor"),
+    }
+
+
+class TestCrashTransparency:
+    @pytest.fixture(scope="class")
+    def clean_serial(self):
+        return _outputs(1)
+
+    @pytest.mark.parametrize("jobs", (2, 4))
+    def test_killed_workers_leave_identical_bytes(self, clean_serial, jobs):
+        chaotic = _outputs(jobs, plan=CRASH_PLAN)
+        assert chaotic["tables"] == clean_serial["tables"]
+        assert chaotic["resilience"] == []
+        assert chaotic["metrics"] == clean_serial["metrics"]
+        # ...and the crashes really happened
+        assert chaotic["supervisor"]["retried"] >= 1
+        assert chaotic["supervisor"]["pool_rebuilds"] >= 1
+
+    def test_stall_under_deadline_leaves_identical_bytes(self, clean_serial):
+        plan = FaultPlan("stall-only", (WorkerStall(at_cell=2, seconds=30.0),))
+        ctx = ObsContext.create()
+        with obs.observability(ctx):
+            study = Study(StudyConfig(
+                runs=2, seed=404, jobs=2, faults=plan, cell_timeout=1.0,
+            ))
+            tables = (build_table4(study), build_table5(study))
+        assert tables == clean_serial["tables"]
+        assert study.parallel_stats()["supervisor"]["timeouts"] >= 1
+
+    def test_exhausted_cell_degrades_with_footnote(self):
+        plan = FaultPlan("crash-only", (WorkerCrash(at_cell=1, crashes=99),))
+        study = Study(StudyConfig(
+            runs=2, seed=404, jobs=2, faults=plan, max_cell_retries=1,
+        ))
+        text = render_table4(build_table4(study))
+        assert "—†" in text
+        entry = study.resilience.entries[0]
+        assert "worker failure" in entry.reason
+        assert entry.attempts == 2
+
+    def test_exhaustion_exits_3_from_the_cli(self, capsys, tmp_path,
+                                             monkeypatch):
+        # crash-degraded runs reuse the degraded exit status: the tables
+        # rendered, but some cells carry the —† marker
+        from repro.faults import profiles
+
+        plan = FaultPlan("crash-only", (WorkerCrash(at_cell=1, crashes=99),))
+        monkeypatch.setitem(profiles.PROFILES, "crash-test", plan)
+        code = main(["table4", "--runs", "2", "--jobs", "2",
+                     "--faults", "crash-test", "--max-cell-retries", "0"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "worker failure" in captured.err
+
+
+class TestArtifactTransparency:
+    def _bundle(self, capsys, tmp_path, name, argv):
+        out = tmp_path / name
+        assert main(["artifacts", "--runs", "2",
+                     "--output", str(out), *argv]) == 0
+        capsys.readouterr()
+        return {
+            p.relative_to(out).as_posix(): p.read_bytes()
+            for p in out.rglob("*") if p.is_file()
+        }
+
+    def test_crashy_bundle_matches_clean_serial(self, capsys, tmp_path,
+                                                monkeypatch):
+        from repro.faults import profiles
+
+        clean = self._bundle(capsys, tmp_path, "clean", [])
+        # route a crash-only plan through the CLI via a patched profile
+        monkeypatch.setitem(profiles.PROFILES, "crash-test", CRASH_PLAN)
+        crashy = self._bundle(capsys, tmp_path, "crashy",
+                              ["--jobs", "2", "--faults", "crash-test"])
+        assert set(crashy) == set(clean)
+        for relpath in sorted(clean):
+            assert crashy[relpath] == clean[relpath], relpath
+
+
+class TestResumeTransparency:
+    def _run(self, capsys, journal, extra=()):
+        code = main(["table4", "table5", "--runs", "2",
+                     "--resume", str(journal), *extra])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_truncated_journal_resumes_byte_identically(self, capsys,
+                                                        tmp_path):
+        journal = tmp_path / "study.ckpt"
+        code_a, full_out, _ = self._run(capsys, journal)
+        assert code_a == 0
+
+        # simulate a kill mid-study: keep 7 complete lines plus the torn
+        # half line an interrupted fsync can leave behind
+        lines = journal.read_bytes().splitlines(keepends=True)
+        assert len(lines) > 8
+        journal.write_bytes(b"".join(lines[:7]) + lines[7][: len(lines[7]) // 2])
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            code_b, resumed_out, err = self._run(capsys, journal)
+        assert code_b == 0
+        assert resumed_out == full_out
+        assert "checkpoint: 7 replayed" in err
+
+        # a third run replays everything and recomputes nothing
+        code_c, again_out, err = self._run(capsys, journal)
+        assert code_c == 0
+        assert again_out == full_out
+        assert "0 recorded" in err
+
+    def test_resume_composes_with_jobs_and_crashes(self, capsys, tmp_path,
+                                                   monkeypatch):
+        from repro.faults import profiles
+
+        monkeypatch.setitem(profiles.PROFILES, "crash-test", CRASH_PLAN)
+        chaos = ["--jobs", "2", "--faults", "crash-test"]
+        journal = tmp_path / "study.ckpt"
+        code_a, full_out, _ = self._run(capsys, journal, chaos)
+        assert code_a == 0
+
+        lines = journal.read_bytes().splitlines(keepends=True)
+        journal.write_bytes(b"".join(lines[:5]))
+        code_b, resumed_out, err = self._run(capsys, journal, chaos)
+        assert code_b == 0
+        assert resumed_out == full_out
+        assert "checkpoint: 5 replayed" in err
