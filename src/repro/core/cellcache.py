@@ -47,7 +47,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from .._version import __version__ as _CODE_VERSION
 from ..machines.registry import get_machine
-from ..obs import runtime as obs
+from ..obs import live, runtime as obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .parallel import CellOutcome, CellTask
@@ -218,6 +218,7 @@ class CellCache:
             self._count("miss")
             return None
         self._count("hit")
+        live.current().cache_hit("/".join(task.label()))
         return outcome
 
     def store(

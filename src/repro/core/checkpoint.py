@@ -40,7 +40,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from .._version import __version__ as _CODE_VERSION
-from ..obs import runtime as obs
+from ..obs import live, runtime as obs
 from .cellcache import cell_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -146,6 +146,7 @@ class CheckpointJournal:
             return None
         self.replayed += 1
         self._count("checkpoint.cell.replayed")
+        live.current().checkpoint_replay("/".join(task.label()))
         return entry[1]
 
     # -- record ------------------------------------------------------------

@@ -53,7 +53,7 @@ from ..machines.registry import (
     GPU_MACHINE_NAMES,
     get_machine,
 )
-from ..obs import runtime as obs
+from ..obs import live, runtime as obs
 from ..obs.runtime import NULL_CONTEXT, ObsContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -219,7 +219,11 @@ def execute_cell(
     )
     if ordinal and config.faults is not None:
         _apply_worker_chaos(config.faults, ordinal, attempt)
-    with obs.observability(ctx):
+    # the scheduler/supervisor own this cell's telemetry (start/done
+    # events, progress); the null session here keeps a forked worker —
+    # which inherits the parent's live session *and* its open event-log
+    # fd — from double-emitting through Study._cell
+    with live.telemetry(live.NULL_TELEMETRY), obs.observability(ctx):
         result = task.run_on(study)
     return CellOutcome(
         task=task,
@@ -298,9 +302,11 @@ class CellScheduler:
         ctx = obs.current()
         obs_enabled = bool(ctx.enabled)
         profile = ctx.profiler is not None
+        tel = live.current()
         tasks = plan_tasks(group)
         config = replace(self.config, jobs=1, cache=False, checkpoint=None)
         started = time.perf_counter()
+        tel.cells_planned(["/".join(task.label()) for task in tasks])
         by_task: dict[CellTask, CellOutcome] = {}
         #: (1-based roster ordinal, task) — the ordinal is stable across
         #: journal replays and cache hits, which is what keeps chaos
@@ -308,11 +314,14 @@ class CellScheduler:
         pending: list[tuple[int, CellTask]] = []
         for ordinal, task in enumerate(tasks, start=1):
             outcome = None
+            source = ""
             if self.journal is not None:
                 outcome = self.journal.lookup(config, task, obs_enabled,
                                               profile)
+                source = "checkpoint"
             if outcome is None and self.cache is not None:
                 outcome = self.cache.load(config, task, obs_enabled, profile)
+                source = "cache"
                 if outcome is not None and self.journal is not None:
                     # a cache hit is a completed cell: journal it so a
                     # later resume no longer depends on the cache
@@ -320,12 +329,20 @@ class CellScheduler:
                                         outcome)
             if outcome is not None:
                 by_task[task] = outcome
+                tel.cell_done(
+                    "/".join(task.label()), degraded=bool(outcome.degraded),
+                    wall_seconds=outcome.wall_seconds, source=source,
+                )
             else:
                 pending.append((ordinal, task))
 
         def complete(ordinal: int, task: CellTask, outcome: CellOutcome,
                      cacheable: bool) -> None:
             by_task[task] = outcome
+            tel.cell_done(
+                "/".join(task.label()), degraded=bool(outcome.degraded),
+                wall_seconds=outcome.wall_seconds,
+            )
             if not cacheable:
                 # supervisor-degraded (host crash/deadline): never let a
                 # host event poison the cache or the journal
@@ -354,6 +371,7 @@ class CellScheduler:
                 # so replayed and fresh outcomes merge identically.
                 # ordinal=0 keeps process chaos disarmed in-process.
                 for ordinal, task in pending:
+                    tel.cell_start("/".join(task.label()), ordinal=ordinal)
                     complete(ordinal, task,
                              execute_cell(config, task, obs_enabled, profile),
                              True)

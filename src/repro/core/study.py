@@ -19,6 +19,7 @@ Two execution modes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,7 +39,7 @@ from ..errors import BenchmarkConfigError, CellExecutionError, ReproError
 from ..faults import FaultPlan, make_injector
 from ..hardware.topology import LinkClass
 from ..machines.base import Machine
-from ..obs import runtime as obs
+from ..obs import live, runtime as obs
 from ..sim.random import (
     NOISE_BANDWIDTH,
     NOISE_CPU_BANDWIDTH,
@@ -266,6 +267,12 @@ class Study:
             if outcome is not None:
                 return self._consume(outcome)
         ctx = obs.current()
+        #: cells the scheduler served already emitted their telemetry in
+        #: the group pass; only the in-process path reports from here
+        tel = live.current()
+        if tel.enabled:
+            tel.cell_start("/".join(label))
+            began = time.perf_counter()
         with ctx.tracer.span("/".join(label), "study") as span:
             try:
                 result = run_cell(
@@ -298,6 +305,12 @@ class Study:
                 else:
                     span.set(degraded=False)
                 ctx.metrics.counter("study.cell.completed").inc()
+        if tel.enabled:
+            tel.cell_done(
+                "/".join(label),
+                degraded=bool(degraded_in(result)),
+                wall_seconds=time.perf_counter() - began,
+            )
         return result
 
     def _consume(self, outcome) -> object:

@@ -55,7 +55,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
-from ..obs import runtime as obs
+from ..obs import live, runtime as obs
 from .resilience import Degraded
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -217,15 +217,33 @@ class CellSupervisor:
         batch completed.  Successful outcomes are delivered through
         ``on_complete`` as they finish — crash safety for the journal.
         """
+        tel = live.current()
         pool = ProcessPoolExecutor(max_workers=workers)
         remaining = {}
-        for ordinal, task in batch:
+        unsubmitted: list = []
+        for index, (ordinal, task) in enumerate(batch):
             attempts[ordinal] += 1
             self.stats.dispatched += 1
-            future = pool.submit(
-                _supervised_execute, self.config, task, obs_enabled,
-                profile, ordinal, attempts[ordinal], spool,
+            tel.cell_start(
+                "/".join(task.label()), ordinal=ordinal,
+                attempt=attempts[ordinal],
             )
+            try:
+                future = pool.submit(
+                    _supervised_execute, self.config, task, obs_enabled,
+                    profile, ordinal, attempts[ordinal], spool,
+                )
+            except BrokenExecutor:
+                # an already-dispatched worker died while the rest of
+                # the batch was still being submitted; this dispatch
+                # never reached the pool (don't charge the attempt) and
+                # everything after it requeues as innocent bystanders
+                detail.setdefault(
+                    ordinal, "worker crashed (process pool broken)"
+                )
+                attempts[ordinal] -= 1
+                unsubmitted = [(ordinal, task)] + batch[index + 1:]
+                break
             remaining[future] = (ordinal, task)
         started_at: dict = {}
         pending = set(remaining)
@@ -263,10 +281,17 @@ class CellSupervisor:
         for future, (ordinal, task) in remaining.items():
             marker = os.path.join(spool, f"{ordinal}.{attempts[ordinal]}")
             started = os.path.exists(marker)
-            if not started:
+            if started:
+                tel.worker_crash(
+                    "/".join(task.label()),
+                    detail=detail.get(ordinal, "worker crashed"),
+                )
+            else:
                 # the attempt never began; don't charge it
                 attempts[ordinal] -= 1
             failures.append((ordinal, task, started))
+        for ordinal, task in unsubmitted:
+            failures.append((ordinal, task, False))
         failures.sort()
         return failures
 
@@ -354,6 +379,9 @@ class CellSupervisor:
                 return
             self.stats.retried += 1
             obs.count("supervisor.cell.retried")
+            live.current().cell_retry(
+                "/".join(task.label()), attempt=attempts[ordinal]
+            )
             self._backoff(attempts[ordinal])
             failures = self._run_batch(
                 [(ordinal, task)], 1, obs_enabled, profile, spool,
@@ -373,6 +401,7 @@ class CellSupervisor:
         """Count one pool rebuild; False once the budget is exhausted."""
         self.stats.pool_rebuilds += 1
         obs.count("supervisor.pool.rebuilt")
+        live.current().pool_rebuild(self.stats.pool_rebuilds)
         return self.stats.pool_rebuilds <= self.max_pool_rebuilds
 
     def _backoff(self, n: int) -> None:

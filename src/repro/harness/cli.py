@@ -21,6 +21,9 @@ Usage::
     python -m repro table4 --jobs 4 --cell-timeout 120   # kill+retry slow cells
     python -m repro all --resume study.ckpt   # journal cells; replay on rerun
     python -m repro selfcheck --chaos    # crash-recovery smoke suite
+    python -m repro all --jobs 4 --progress   # live cells-done/ETA ticker
+    python -m repro all --events-out events.jsonl   # structured run log
+    python -m repro all --status-port 0   # live /metrics /progress /healthz
 
 Under ``--faults <profile>`` individual benchmark cells may be killed by
 injected node failures; after bounded retries they are rendered as the
@@ -35,8 +38,12 @@ and the same exit status 3.
 for the run: spans, counters and the event-loop profiler flow to the
 named files and to a stderr digest.  Without those flags the null
 observability context is active and stdout is byte-identical to a build
-without the subsystem.  ``--quiet`` silences every stderr report
-(resilience, profile, file notices) without touching stdout.
+without the subsystem.  ``--events-out``/``--status-port``/``--progress``
+arm *live* telemetry the same way (DESIGN.md §5h): a structured JSONL
+event log, a loopback status server and a stderr progress ticker, all
+byte-neutral to stdout and the artifact tables.  ``--quiet`` silences
+every stderr report (resilience, profile, file notices, the ticker)
+without touching stdout.
 """
 
 from __future__ import annotations
@@ -400,11 +407,33 @@ def main(argv: list[str] | None = None) -> int:
              "checkpoint resume) under the selfcheck target",
     )
     parser.add_argument(
+        "--events-out", type=str, default="", metavar="FILE",
+        help="append one JSONL event per run transition (cell start/done, "
+             "crashes, cache hits) to FILE; crash-safe, schema "
+             "repro.events/v1; stdout is unchanged",
+    )
+    parser.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (OpenMetrics), /progress (JSON) and /healthz "
+             "on 127.0.0.1:PORT for the duration of the run (0 = pick an "
+             "ephemeral port, printed to stderr); stdout is unchanged",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="tick a one-line cells-done/ETA progress report on stderr "
+             "(TTY only, at most once per second); stdout is unchanged",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress all stderr reports (resilience, profile, file "
              "notices); stdout is unchanged",
     )
     args = parser.parse_args(argv)
+    if args.status_port is not None and not 0 <= args.status_port <= 65535:
+        parser.error(
+            f"--status-port must be 0-65535 (0 = ephemeral), "
+            f"got {args.status_port}"
+        )
 
     from ..errors import ReproError
     from ..faults import get_profile
@@ -431,34 +460,91 @@ def main(argv: list[str] | None = None) -> int:
             if t not in ("all", "report", "artifacts", "selfcheck")
         ] + ["report"]
 
+    from ..obs import live
     from ..obs import runtime as obs_runtime
     from ..obs.runtime import NULL_CONTEXT, ObsContext
 
     obs_wanted = bool(args.trace_out or args.metrics_out or args.profile)
     ctx = ObsContext.create(profile=args.profile) if obs_wanted else NULL_CONTEXT
 
+    # live telemetry is opt-in exactly like observability: with none of
+    # the three flags armed the shared null session is active and the
+    # run's stdout/artifacts are byte-identical (DESIGN.md 5h)
+    tel_wanted = bool(
+        args.events_out or args.status_port is not None or args.progress
+    )
+    session = live.NULL_TELEMETRY
+    status_server = None
+    if tel_wanted:
+        from ..core.parallel import resolve_jobs
+        from ..obs.events import EventLog
+
+        session = live.RunTelemetry(
+            events=EventLog(args.events_out) if args.events_out else None,
+            progress=(
+                live.ProgressReporter(None)
+                if args.progress and not args.quiet else None
+            ),
+        )
+        session.aggregator.profiler_supplier = (
+            lambda: obs_runtime.current().profiler
+        )
+        session.run_start(targets, resolve_jobs(args.jobs), args.seed)
+        if args.status_port is not None:
+            from .status_server import StatusServer
+
+            status_server = StatusServer(
+                session.aggregator,
+                registry_supplier=lambda: obs_runtime.current().metrics,
+                port=args.status_port,
+            ).start()
+            _stderr_report(
+                f"status server on http://127.0.0.1:{status_server.port}/ "
+                f"(/metrics /progress /healthz)",
+                args.quiet,
+            )
+
     text = ""
     wrote_bundle = False
-    with obs_runtime.observability(ctx):
-        for target in targets:
-            if target == "artifacts":
-                from .artifacts import write_artifacts
+    try:
+        with obs_runtime.observability(ctx), live.telemetry(session):
+            for target in targets:
+                if target == "artifacts":
+                    from .artifacts import write_artifacts
 
-                directory = args.output or "artifacts"
-                written = write_artifacts(directory, study)
-                wrote_bundle = True
-                print(f"==> artifacts ({len(written)} files under {directory})")
-                continue
-            text = run_target(
-                target, study,
-                obs_smoke=args.obs == "smoke",
-                parallel_smoke=args.parallel,
-                cache_smoke=cache,
-                chaos_smoke=args.chaos,
-            )
-            print(f"==> {target}")
-            print(text)
-            print()
+                    directory = args.output or "artifacts"
+                    written = write_artifacts(directory, study)
+                    wrote_bundle = True
+                    print(
+                        f"==> artifacts ({len(written)} files under "
+                        f"{directory})"
+                    )
+                    continue
+                text = run_target(
+                    target, study,
+                    obs_smoke=args.obs == "smoke",
+                    parallel_smoke=args.parallel,
+                    cache_smoke=cache,
+                    chaos_smoke=args.chaos,
+                )
+                print(f"==> {target}")
+                print(text)
+                print()
+            session.run_end()
+    finally:
+        # every exit path — clean end, a raising cell, Ctrl-C — releases
+        # the status port and seals the event log
+        if status_server is not None:
+            status_server.stop()
+        session.close()
+    if args.events_out and session.events is not None:
+        stats = session.events.stats()
+        _stderr_report(
+            f"wrote {stats['path']} ({stats['emitted']} event(s)"
+            + (f", {stats['dropped']} dropped" if stats["dropped"] else "")
+            + ")",
+            args.quiet,
+        )
     if args.output and not wrote_bundle:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")

@@ -451,6 +451,81 @@ def check_obs_bench_gate() -> list[Finding]:
     return out
 
 
+def check_obs_live_status() -> list[Finding]:
+    """A study run against a live status server must answer ``/healthz``,
+    report monotone ``/progress`` done counts, serve a well-formed
+    OpenMetrics ``/metrics`` exposition, and take the socket down with
+    the server."""
+    import json
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from ..core.study import Study, StudyConfig
+    from ..core.tables import build_table4
+    from ..machines.registry import get_machine
+    from ..obs import live
+    from .status_server import StatusServer
+
+    out = []
+    session = live.RunTelemetry()
+    server = StatusServer(session.aggregator, port=0).start()
+    base = f"http://127.0.0.1:{server.port}"
+
+    def fetch(path: str) -> tuple[int, str]:
+        with urllib.request.urlopen(base + path, timeout=5) as resp:
+            return resp.status, resp.read().decode()
+
+    done_counts = []
+    try:
+        status, body = fetch("/healthz")
+        if status != 200 or body != "ok\n":
+            out.append(Finding("-", "live", f"/healthz answered {status}"))
+        with live.telemetry(session):
+            session.run_start(["table4"], 1, 11)
+            study = Study(StudyConfig(runs=2, seed=11))
+            worker = threading.Thread(
+                target=build_table4, args=(study,),
+                kwargs={"machines": [get_machine("sawtooth")]},
+            )
+            worker.start()
+            while worker.is_alive():
+                done_counts.append(
+                    json.loads(fetch("/progress")[1])["cells"]["done"]
+                )
+            worker.join()
+            session.run_end()
+        snapshot = json.loads(fetch("/progress")[1])
+        done_counts.append(snapshot["cells"]["done"])
+        if snapshot["state"] != "done":
+            out.append(Finding("-", "live",
+                               f"terminal state {snapshot['state']!r} "
+                               f"!= 'done'"))
+        if snapshot["cells"]["done"] != snapshot["cells"]["total"] or \
+                not snapshot["cells"]["total"]:
+            out.append(Finding("-", "live",
+                               f"final cell tally incomplete: "
+                               f"{snapshot['cells']}"))
+        metrics = fetch("/metrics")[1]
+        if not metrics.endswith("# EOF\n") or \
+                "repro_run_cells_done" not in metrics:
+            out.append(Finding("-", "live",
+                               "/metrics is not a run exposition"))
+    finally:
+        server.stop()
+    if any(b < a for a, b in zip(done_counts, done_counts[1:])):
+        out.append(Finding("-", "live",
+                           f"/progress done count went backwards: "
+                           f"{done_counts}"))
+    try:
+        fetch("/healthz")
+        out.append(Finding("-", "live",
+                           "/healthz still answers after server stop"))
+    except (urllib.error.URLError, OSError):
+        pass  # the socket closing is the liveness signal
+    return out
+
+
 OBS_CHECKS = (
     check_obs_null_context,
     check_obs_span_roundtrip,
@@ -458,6 +533,7 @@ OBS_CHECKS = (
     check_obs_profile_cli,
     check_obs_trace_reader,
     check_obs_bench_gate,
+    check_obs_live_status,
 )
 
 
@@ -474,7 +550,7 @@ def render_obs_smoke(findings: list[Finding]) -> str:
         return (
             f"obs smoke passed: {len(OBS_CHECKS)} check families "
             f"(null context, span roundtrip, histogram edges, --profile CLI, "
-            f"trace reader, bench gate)"
+            f"trace reader, bench gate, live status server)"
         )
     return "\n".join(str(f) for f in findings)
 

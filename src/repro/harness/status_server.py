@@ -1,0 +1,176 @@
+"""The run status server: live ``/metrics``, ``/progress``, ``/healthz``.
+
+``--status-port N`` arms a stdlib :class:`http.server.ThreadingHTTPServer`
+on a daemon thread for the duration of the run (``0`` binds an
+ephemeral port, printed to stderr so a wrapper script can scrape it).
+Three endpoints:
+
+* ``/metrics`` — the OpenMetrics exposition
+  (:func:`repro.obs.openmetrics.render_openmetrics`): run gauges from
+  the live aggregator plus the full instrument taxonomy when
+  observability is armed.  This is the first brick of the ROADMAP-1
+  ``repro serve`` daemon.
+* ``/progress`` — the aggregator snapshot as JSON: per-cell states,
+  counts, supervisor recovery tallies and the ETA.
+* ``/healthz`` — ``200 ok`` while the server is up; the socket closing
+  (run end, crash, SIGINT) *is* the liveness signal.
+
+The server never takes a run down: requests read a lock-protected
+snapshot, handler errors answer 500, and the metrics supplier is
+defensive about racing a mutating registry (snapshots retry, then
+degrade to the run section alone).  Shutdown is idempotent and runs in
+a ``finally`` on the CLI side, so the port is released on every exit
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from ..obs.live import LiveAggregator
+from ..obs.openmetrics import render_openmetrics
+
+#: content type Prometheus scrapers accept for the text exposition
+OPENMETRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _registry_snapshot(registry) -> Optional[dict]:
+    """A metrics snapshot that tolerates racing the run's main thread.
+
+    The run mutates its registry while we read it; dict growth mid-
+    iteration raises ``RuntimeError``, so retry a few times and degrade
+    to ``None`` (run-section-only exposition) rather than 500ing.
+    """
+    if registry is None or not getattr(registry, "enabled", False):
+        return None
+    for _ in range(3):
+        try:
+            return registry.snapshot()
+        except RuntimeError:
+            continue
+    return None
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints; everything else is 404."""
+
+    server_version = "repro-status/1"
+    #: quiet by default: request logging would interleave with the
+    #: run's own stderr reports
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _reply(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib signature
+        server: "StatusServer" = self.server.status_server  # type: ignore
+        try:
+            path = self.path.split("?", 1)[0]
+            if path == "/healthz":
+                self._reply(200, "text/plain; charset=utf-8", "ok\n")
+            elif path == "/progress":
+                snapshot = server.aggregator.snapshot()
+                self._reply(
+                    200, "application/json",
+                    json.dumps(snapshot, indent=1, sort_keys=True) + "\n",
+                )
+            elif path == "/metrics":
+                snapshot = server.aggregator.snapshot()
+                instruments = _registry_snapshot(server.registry_supplier())
+                self._reply(
+                    200, OPENMETRICS_CONTENT_TYPE,
+                    render_openmetrics(snapshot, instruments),
+                )
+            else:
+                self._reply(404, "text/plain; charset=utf-8",
+                            "unknown endpoint; try /metrics /progress "
+                            "/healthz\n")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - must never kill the run
+            try:
+                self._reply(500, "text/plain; charset=utf-8",
+                            f"internal error: {exc}\n")
+            except OSError:  # pragma: no cover - socket already gone
+                pass
+
+
+class StatusServer:
+    """Owns the HTTP server thread for one run.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.  Binding is loopback-only — this is a local run
+    inspector, not a public service.
+    """
+
+    def __init__(
+        self,
+        aggregator: LiveAggregator,
+        registry_supplier: Optional[Callable] = None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.aggregator = aggregator
+        #: zero-argument callable returning the live metrics registry
+        #: (or None); resolved per request so the server can outlive a
+        #: context switch
+        self.registry_supplier = registry_supplier or (lambda: None)
+        self._requested_port = port
+        self.host = host
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "StatusServer":
+        if self._httpd is not None:
+            return self
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), _StatusHandler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.status_server = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-status-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down (idempotent; safe from any exit path)."""
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+__all__ = ["StatusServer", "OPENMETRICS_CONTENT_TYPE"]

@@ -16,8 +16,25 @@ an :class:`ObsContext` for ``--trace-out`` / ``--metrics-out`` /
 ``--profile`` and instrumented call sites read ``runtime.current()``.
 With no context active, every instrument is a shared no-op and the run
 stays byte-identical to an uninstrumented build.
+
+Live *run* telemetry (DESIGN.md §5h) is the sibling activation chain in
+:mod:`repro.obs.live`: ``--events-out`` / ``--status-port`` /
+``--progress`` build a :class:`RunTelemetry` session feeding the
+structured event log (:mod:`repro.obs.events`), the ``/metrics`` /
+``/progress`` status server (via :mod:`repro.obs.openmetrics`) and the
+stderr progress ticker; the run manifest (:mod:`repro.obs.manifest`)
+records the session's provenance in the artifact bundle.  The two
+chains are deliberately independent — telemetry never re-keys the cell
+cache and never touches stdout.
 """
 
+from .events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    EventLog,
+    check_invariants,
+    read_events,
+)
 from .export import (
     EXECUTION_NAMESPACES,
     chrome_trace,
@@ -26,6 +43,20 @@ from .export import (
     text_summary,
     write_chrome_trace,
     write_metrics,
+)
+from .live import (
+    NULL_TELEMETRY,
+    LiveAggregator,
+    NullRunTelemetry,
+    ProgressReporter,
+    RunTelemetry,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_fingerprint,
+    render_manifest,
+    write_manifest,
 )
 from .metrics import (
     Counter,
@@ -36,6 +67,7 @@ from .metrics import (
     NULL_METRICS,
     NullMetrics,
 )
+from .openmetrics import render_openmetrics
 from .profiler import ProfileReport, SimProfiler, SubsystemStats
 from .runtime import (
     NULL_CONTEXT,
@@ -86,4 +118,20 @@ __all__ = [
     "text_summary",
     "write_chrome_trace",
     "write_metrics",
+    "EventLog",
+    "EVENT_SCHEMA",
+    "EVENT_KINDS",
+    "read_events",
+    "check_invariants",
+    "LiveAggregator",
+    "ProgressReporter",
+    "RunTelemetry",
+    "NullRunTelemetry",
+    "NULL_TELEMETRY",
+    "render_openmetrics",
+    "MANIFEST_SCHEMA",
+    "config_fingerprint",
+    "build_manifest",
+    "render_manifest",
+    "write_manifest",
 ]

@@ -18,8 +18,11 @@ _VERDICT_MARKS = {
 }
 
 
-def _fmt_stat(mean: float, std: float) -> str:
-    if std == 0.0:
+def _fmt_stat(mean: float | None, std: float | None) -> str:
+    # a metric with no samples reports None, not a fabricated figure
+    if mean is None:
+        return "-"
+    if not std:
         return f"{mean:.6g}"
     return f"{mean:.6g} ±{std:.2g}"
 
@@ -71,7 +74,9 @@ def render_comparison(comparison: BenchComparison) -> str:
             base,
             cur,
             rel,
-            f"{row.p_value:.3g}" if row.baseline and row.current else "—",
+            f"{row.p_value:.3g}"
+            if row.baseline and row.current and row.p_value is not None
+            else "—",
             row.verdict + ("" if row.gate else " (advisory)"),
         ])
     table = layout_table(

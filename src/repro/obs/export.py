@@ -164,6 +164,15 @@ def write_metrics(path: str, registry) -> None:
         fh.write("\n")
 
 
+def _fmt(value) -> str:
+    """One numeric field for the text digest; absent values render
+    as ``-`` (an empty histogram has ``None`` quantiles by the PR 3
+    rule — never a fabricated 0.0, and never a formatting crash)."""
+    if value is None:
+        return "-"
+    return f"{value:.3g}"
+
+
 def text_summary(
     tracer: Tracer | None = None,
     registry=None,
@@ -190,8 +199,9 @@ def text_summary(
         for name, entry in nonzero:
             if entry["type"] == "histogram":
                 parts.append(
-                    f"  {name}: n={entry['count']} mean={entry['mean']:.3g} "
-                    f"p95={entry['p95']:.3g}"
+                    f"  {name}: n={entry.get('count', 0)} "
+                    f"mean={_fmt(entry.get('mean'))} "
+                    f"p95={_fmt(entry.get('p95'))}"
                 )
             else:
                 parts.append(f"  {name}: {entry['value']:g}")

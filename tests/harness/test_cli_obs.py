@@ -135,3 +135,106 @@ class TestArtifactsMerge:
                      "--output", str(out)]) == 0
         capsys.readouterr()
         assert not (out / "obs").exists()
+
+
+@pytest.mark.live
+class TestTelemetryByteIdentity:
+    """DESIGN.md §5h: run telemetry must never perturb stdout."""
+
+    TELEMETRY = ["--progress"]
+
+    def test_events_flag_leaves_stdout_identical(self, capsys, tmp_path):
+        code_a, base = _stdout(capsys, ["table4", "table6"] + FAST)
+        code_b, flagged = _stdout(capsys, [
+            "table4", "table6", *FAST, "--progress",
+            "--events-out", str(tmp_path / "ev.jsonl"),
+        ])
+        assert code_a == code_b == 0
+        assert flagged == base
+
+    @pytest.mark.parallel
+    def test_telemetry_with_jobs_leaves_stdout_identical(self, capsys,
+                                                         tmp_path):
+        code_a, base = _stdout(capsys, ["table4", "table6"] + FAST)
+        code_b, flagged = _stdout(capsys, [
+            "table4", "table6", *FAST, "--jobs", "4", "--progress",
+            "--events-out", str(tmp_path / "ev.jsonl"),
+            "--status-port", "0",
+        ])
+        assert code_a == code_b == 0
+        assert flagged == base
+
+    def test_telemetry_composes_with_obs_flags(self, capsys, tmp_path):
+        code_a, base = _stdout(capsys, ["table4"] + FAST)
+        code_b, flagged = _stdout(capsys, [
+            "table4", *FAST, "--profile", "--quiet",
+            "--metrics-out", str(tmp_path / "m.json"),
+            "--events-out", str(tmp_path / "ev.jsonl"),
+        ])
+        assert code_a == code_b == 0
+        assert flagged == base
+
+
+@pytest.mark.live
+class TestEventsOut:
+    def test_events_file_is_a_valid_run_log(self, capsys, tmp_path):
+        from repro.obs.events import check_invariants, read_events
+
+        path = tmp_path / "ev.jsonl"
+        code, _ = _stdout(capsys, ["table4", *FAST,
+                                   "--events-out", str(path)])
+        assert code == 0
+        events, skipped = read_events(path)
+        assert skipped == 0
+        assert events[0]["kind"] == "run_start"
+        assert events[-1]["kind"] == "run_end"
+        kinds = {e["kind"] for e in events}
+        assert {"cell_start", "cell_done"} <= kinds
+        assert check_invariants(events) == []
+
+    def test_stderr_reports_the_event_count(self, capsys, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        main(["table4", *FAST, "--events-out", str(path)])
+        err = capsys.readouterr().err
+        assert f"wrote {path}" in err
+        assert "event(s)" in err
+
+    def test_quiet_suppresses_the_event_report(self, capsys, tmp_path):
+        main(["table4", *FAST, "--quiet",
+              "--events-out", str(tmp_path / "ev.jsonl")])
+        assert capsys.readouterr().err == ""
+        assert (tmp_path / "ev.jsonl").exists()
+
+    @pytest.mark.parametrize("port", ("-1", "70000"))
+    def test_out_of_range_status_port_is_a_usage_error(self, capsys, port):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table4", *FAST, "--status-port", port])
+        assert excinfo.value.code == 2
+        assert "--status-port" in capsys.readouterr().err
+
+
+@pytest.mark.live
+class TestManifestInArtifacts:
+    def test_bundle_gains_manifest_when_telemetry_armed(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "bundle"
+        code = main(["table4", "artifacts", *FAST, "--quiet",
+                     "--events-out", str(tmp_path / "ev.jsonl"),
+                     "--output", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads((out / "manifest.json").read_text())
+        assert doc["schema"] == "repro.manifest/v1"
+        assert doc["targets"] == ["table4", "artifacts"]
+        assert doc["side_files"]["events"]["path"] == str(
+            tmp_path / "ev.jsonl"
+        )
+        assert doc["config"]["fingerprint"]
+
+    def test_bundle_has_no_manifest_when_telemetry_off(self, tmp_path,
+                                                       capsys):
+        out = tmp_path / "bundle"
+        assert main(["table4", "artifacts", *FAST,
+                     "--output", str(out)]) == 0
+        capsys.readouterr()
+        assert not (out / "manifest.json").exists()

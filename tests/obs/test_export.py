@@ -115,3 +115,19 @@ class TestTextSummary:
         h.observe(0.5)
         text = text_summary(None, ctx.metrics, None)
         assert "gpurt.kernel.queue_wait_us: n=1" in text
+
+    def test_absent_quantiles_render_as_dash(self):
+        # a snapshot can carry a histogram whose quantile keys are
+        # absent (the PR 3 rule omits them at count 0; foreign snapshots
+        # may drop them too) — the digest renders "-", never crashes
+        class _Registry:
+            enabled = True
+
+            def snapshot(self):
+                return {"gpurt.kernel.queue_wait_us": {
+                    "type": "histogram", "count": 3,
+                    "mean": None, "buckets": {},
+                }}
+
+        text = text_summary(None, _Registry(), None)
+        assert "n=3 mean=- p95=-" in text

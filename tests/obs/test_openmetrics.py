@@ -1,0 +1,125 @@
+"""OpenMetrics exposition: family structure, zero rendering, edge cases."""
+
+import pytest
+
+from repro.obs.live import LiveAggregator
+from repro.obs.metrics import DECLARED_COUNTERS, MetricsRegistry
+from repro.obs.openmetrics import (
+    help_text,
+    metric_name,
+    render_openmetrics,
+)
+
+pytestmark = pytest.mark.live
+
+
+def _snapshot(**updates):
+    agg = LiveAggregator()
+    agg.run_started(["table4"], 2, 7)
+    agg.cells_planned(["a", "b", "c"])
+    agg.cell_finished("a", degraded=False, wall_seconds=2.0)
+    snap = agg.snapshot()
+    snap.update(updates)
+    return snap
+
+
+class TestNaming:
+    def test_metric_name_flattens_dots_under_the_prefix(self):
+        assert metric_name("mpisim.send.eager") == "repro_mpisim_send_eager"
+        assert (metric_name("cache.hit", "_total")
+                == "repro_cache_hit_total")
+
+    def test_help_text_uses_the_namespace_taxonomy(self):
+        assert help_text("supervisor.cell.retried") == (
+            "worker supervision counter (advisory): supervisor.cell.retried"
+        )
+        assert help_text("custom.thing") == "instrument: custom.thing"
+
+
+class TestExposition:
+    def test_every_family_has_help_and_type_and_eof(self):
+        text = render_openmetrics(_snapshot())
+        assert text.endswith("# EOF\n")
+        lines = text.splitlines()
+        helped = {l.split()[2] for l in lines if l.startswith("# HELP")}
+        typed = {l.split()[2] for l in lines if l.startswith("# TYPE")}
+        assert helped == typed
+        # every sample line belongs to a declared family
+        for line in lines:
+            if line.startswith("#") or not line:
+                continue
+            family = line.split(None, 1)[0].split("{", 1)[0]
+            base = family
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix):
+                    base = family[: -len(suffix)]
+            assert base in helped, line
+            assert base.startswith("repro_")
+
+    def test_run_gauges_reflect_the_snapshot(self):
+        text = render_openmetrics(_snapshot())
+        assert "repro_run_cells_planned 3\n" in text
+        assert "repro_run_cells_done 1\n" in text
+        assert "repro_run_jobs 2\n" in text
+        assert "repro_run_state 1\n" in text
+
+    def test_run_state_flips_to_zero_when_done(self):
+        agg = LiveAggregator()
+        agg.run_ended()
+        assert "repro_run_state 0\n" in render_openmetrics(agg.snapshot())
+
+    def test_none_eta_renders_help_but_no_sample(self):
+        # before the first completed cell the ETA has no basis: the
+        # family is declared (scrapers see it exists) with no sample
+        text = render_openmetrics(_snapshot(eta_seconds=None,
+                                            events_per_second=None))
+        lines = text.splitlines()
+        assert "# TYPE repro_run_eta_seconds gauge" in lines
+        assert not any(l.startswith("repro_run_eta_seconds ")
+                       for l in lines)
+        assert not any(l.startswith("repro_run_events_per_second ")
+                       for l in lines)
+
+    def test_declared_counters_render_at_zero_without_a_registry(self):
+        text = render_openmetrics(_snapshot(), instruments=None)
+        for dotted in DECLARED_COUNTERS:
+            assert f"{metric_name(dotted, '_total')} 0\n" in text
+
+    def test_registry_counters_and_gauges_flow_through(self):
+        registry = MetricsRegistry()
+        registry.counter("mpisim.send.eager").inc(5)
+        registry.gauge("custom.depth").set(2.5)
+        text = render_openmetrics(_snapshot(),
+                                  instruments=registry.snapshot())
+        assert "repro_mpisim_send_eager_total 5\n" in text
+        assert "# TYPE repro_custom_depth gauge" in text
+        assert "repro_custom_depth 2.5\n" in text
+
+
+class TestHistogramRendering:
+    def test_observed_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("custom.lat", bounds=(1.0, 10.0))
+        for value in (0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = render_openmetrics(_snapshot(),
+                                  instruments=registry.snapshot())
+        assert 'repro_custom_lat_bucket{le="1"} 2\n' in text
+        assert 'repro_custom_lat_bucket{le="10"} 3\n' in text
+        assert 'repro_custom_lat_bucket{le="+Inf"} 4\n' in text
+        assert "repro_custom_lat_count 4\n" in text
+        # sum reconstructed as mean * count
+        sum_line = next(l for l in text.splitlines()
+                        if l.startswith("repro_custom_lat_sum "))
+        assert float(sum_line.split()[1]) == pytest.approx(56.0)
+
+    def test_empty_histogram_renders_zero_series_not_quantiles(self):
+        # the PR 3 rule: an empty histogram has None quantiles; the
+        # exposition must render zero counts, never invent a value
+        registry = MetricsRegistry()
+        registry.histogram("custom.lat", bounds=(1.0,))
+        text = render_openmetrics(_snapshot(),
+                                  instruments=registry.snapshot())
+        assert 'repro_custom_lat_bucket{le="+Inf"} 0\n' in text
+        assert "repro_custom_lat_sum 0.0\n" in text
+        assert "repro_custom_lat_count 0\n" in text
