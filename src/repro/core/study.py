@@ -19,6 +19,7 @@ Two execution modes:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -220,6 +221,11 @@ class Study:
             or self.config.checkpoint
         ):
             self.scheduler = CellScheduler(self.config)
+        #: raw result of every cell this study ran, by cell label, in
+        #: completion order — the run ledger's :func:`~repro.obs.ledger
+        #: .study_metrics_doc` flattens these into comparable metrics.
+        #: A cell rebuilt for a second target overwrites its entry.
+        self.cell_results: dict[tuple[str, ...], object] = {}
 
     # ------------------------------------------------------------------
     # helpers
@@ -265,7 +271,9 @@ class Study:
         if self.scheduler is not None and machine is not None:
             outcome = self.scheduler.lookup(machine, label)
             if outcome is not None:
-                return self._consume(outcome)
+                result = self._consume(outcome)
+                self.cell_results[label] = result
+                return result
         ctx = obs.current()
         #: cells the scheduler served already emitted their telemetry in
         #: the group pass; only the in-process path reports from here
@@ -311,6 +319,7 @@ class Study:
                 degraded=bool(degraded_in(result)),
                 wall_seconds=time.perf_counter() - began,
             )
+        self.cell_results[label] = result
         return result
 
     def _consume(self, outcome) -> object:
@@ -345,6 +354,57 @@ class Study:
         if self.scheduler is None:
             return None
         return self.scheduler.stats()
+
+    def outcome_summary(self) -> dict[str, dict]:
+        """Every cell statistic this study produced, flattened to
+        ``repro.bench/v1`` metric rows.
+
+        Keys are ``sim.<cell label>[/<component>]`` (per-class dicts and
+        :class:`CommScopeStats` bundles expand one level per component);
+        values carry mean/std/n with the goodness direction (bandwidths
+        are better higher, everything else lower) and ``gate=True`` —
+        these numbers are deterministic given the seed, so a cross-run
+        diff may gate on them.  Degraded cells contribute no row (they
+        have no number); they are reported through :attr:`resilience`.
+        """
+        out: dict[str, dict] = {}
+        for label in sorted(self.cell_results):
+            self._flatten_cell(
+                out, "sim." + "/".join(label), self.cell_results[label]
+            )
+        return out
+
+    @classmethod
+    def _flatten_cell(cls, out: dict[str, dict], base: str, value) -> None:
+        if isinstance(value, Degraded):
+            return
+        if isinstance(value, Statistic):
+            out[base] = cls._metric_row(base, value)
+            return
+        if isinstance(value, dict):
+            for key in sorted(value, key=str):
+                name = getattr(key, "value", key)
+                cls._flatten_cell(out, f"{base}/{name}", value[key])
+            return
+        if dataclasses.is_dataclass(value):
+            for spec in dataclasses.fields(value):
+                cls._flatten_cell(
+                    out, f"{base}/{spec.name}", getattr(value, spec.name)
+                )
+            return
+        if isinstance(value, (int, float)):
+            out[base] = cls._metric_row(
+                base, Statistic(mean=float(value), std=0.0, n=1)
+            )
+
+    @staticmethod
+    def _metric_row(name: str, stat: Statistic) -> dict:
+        higher = "babelstream" in name or "bandwidth" in name \
+            or name.endswith("/hdbw")
+        return {
+            "mean": stat.mean, "std": stat.std, "n": stat.n, "unit": "",
+            "better": "higher" if higher else "lower", "gate": True,
+        }
 
     # ------------------------------------------------------------------
     # BabelStream

@@ -124,3 +124,10 @@ class TraceAnalysisError(ReproError, ValueError):
 class BenchDataError(ReproError, ValueError):
     """A benchmark-trajectory file (``BENCH_*.json``) is malformed or
     incompatible with the current schema."""
+
+
+class LedgerError(ReproError, ValueError):
+    """A run-ledger lookup or maintenance operation failed (unknown or
+    ambiguous run id, empty ledger, unwritable index rewrite).  Write
+    paths of the ledger itself never raise — recording degrades to a
+    warning — so this surfaces only from the ``repro runs`` CLI."""

@@ -127,16 +127,9 @@ def build_artifacts(study: Study | None = None, curves: bool = True) -> Artifact
                        sort_keys=True),
         )
 
-        from ..obs.analyze import attribute_cells, render_attribution
-        from ..obs.analyze.reader import ReadSpan
+        from ..obs.analyze import attributions_from_tracer, render_attribution
 
-        spans = [
-            ReadSpan(name=r.name, category=r.category, timeline="sim",
-                     begin=r.sim_begin, end=r.sim_end)
-            for r in ctx.tracer.span_records()
-            if r.sim_begin is not None
-        ]
-        attributions = attribute_cells(spans)
+        attributions = attributions_from_tracer(ctx.tracer)
         if attributions:
             bundle.add(
                 "obs/attribution.json",

@@ -20,6 +20,11 @@ t-test + relative-error threshold); exit codes:
 * 0 — no gating metric regressed;
 * 3 — comparison incomplete (missing targets/metrics, degraded runs);
 * 4 — at least one gating metric regressed (named on stdout).
+
+Every invocation also records itself into the persistent run ledger
+(``--no-ledger`` opts out; see :mod:`repro.obs.ledger`), so ``repro
+runs diff``/``trend`` can compare bench history without re-running
+anything.
 """
 
 from __future__ import annotations
@@ -437,6 +442,15 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
         "--quiet", action="store_true",
         help="suppress stderr notices; stdout is unchanged",
     )
+    parser.add_argument(
+        "--no-ledger", dest="ledger_record", action="store_false",
+        default=True,
+        help="do not record this bench run in the persistent run ledger",
+    )
+    parser.add_argument(
+        "--ledger-dir", type=str, default="", metavar="DIR",
+        help="run-ledger root (default: $REPRO_LEDGER_DIR or .repro/runs)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error(f"--repeats must be >= 1: {args.repeats}")
@@ -449,6 +463,7 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
         if not args.quiet and text:
             print(text, file=sys.stderr)
 
+    started_at = time.time()
     try:
         result = run_bench(
             repeats=args.repeats, seed=args.seed, faults=args.faults,
@@ -496,6 +511,24 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
     if degraded and exit_code == 0:
         notice(f"degraded target(s): {', '.join(degraded)}")
         exit_code = EXIT_INCOMPLETE
+    if args.ledger_record:
+        # recording happens after every stdout line, so the ledger is
+        # byte-neutral to the bench output and its exit-code contract
+        from ..obs.ledger import record_bench_run
+
+        entry = record_bench_run(
+            result.run,
+            directory=args.ledger_dir or None,
+            started=started_at,
+            exit_code=exit_code,
+            jobs=args.jobs,
+            attributions=result.attributions,
+        )
+        if entry is not None:
+            notice(
+                f"ledger: recorded run {entry.run_id} under "
+                f"{entry.directory}"
+            )
     return exit_code
 
 

@@ -24,6 +24,12 @@ Usage::
     python -m repro all --jobs 4 --progress   # live cells-done/ETA ticker
     python -m repro all --events-out events.jsonl   # structured run log
     python -m repro all --status-port 0   # live /metrics /progress /healthz
+    python -m repro all --progress=force   # ETA ticker even when piped (CI)
+    python -m repro runs list            # ledgered run history
+    python -m repro runs diff latest abc123   # Welch-tested cross-run diff
+    python -m repro runs flame latest --cell table6   # attribution icicle
+    python -m repro table4 --no-ledger   # opt out of run recording
+    python -m repro selfcheck --ledger   # run-ledger smoke suite
 
 Under ``--faults <profile>`` individual benchmark cells may be killed by
 injected node failures; after bounded retries they are rendered as the
@@ -44,12 +50,22 @@ event log, a loopback status server and a stderr progress ticker, all
 byte-neutral to stdout and the artifact tables.  ``--quiet`` silences
 every stderr report (resilience, profile, file notices, the ticker)
 without touching stdout.
+
+Every run additionally records itself into the persistent *run ledger*
+(``.repro/runs`` or ``$REPRO_LEDGER_DIR``; DESIGN.md §5i) — manifest,
+final metrics, outcome and (when observability is armed) the
+critical-path attribution — under a content-addressed run id.  The
+``runs`` subcommand family queries that history; ``--no-ledger`` opts a
+run out.  Recording happens after stdout is complete and degrades to a
+stderr warning on failure, so it is byte-neutral by construction.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 from ..core.figures import FIGURE_MACHINES, figure_for, render_node_ascii
 from ..core.report import full_report, inventory_section
@@ -151,6 +167,7 @@ def run_target(
     parallel_smoke: bool = False,
     cache_smoke: bool = False,
     chaos_smoke: bool = False,
+    ledger_smoke: bool = False,
 ) -> str:
     """Produce the output text for one CLI target."""
     if target == "table1":
@@ -197,6 +214,7 @@ def run_target(
         return _run_selfcheck_target(
             study, obs_smoke=obs_smoke, parallel_smoke=parallel_smoke,
             cache_smoke=cache_smoke, chaos_smoke=chaos_smoke,
+            ledger_smoke=ledger_smoke,
         )
     raise ValueError(f"unknown target: {target}")
 
@@ -207,23 +225,27 @@ def _run_selfcheck_target(
     parallel_smoke: bool = False,
     cache_smoke: bool = False,
     chaos_smoke: bool = False,
+    ledger_smoke: bool = False,
 ) -> str:
     """``selfcheck``: structural checks, plus the fault smoke suite
     whenever a fault plan is armed (``--faults smoke`` in CI), the
     observability smoke suite under ``--obs smoke``, the
     parallel-equivalence smoke suite under ``--parallel``, the
-    cell-cache smoke suite under ``--cache``, and the crash-recovery
-    smoke suite under ``--chaos``."""
+    cell-cache smoke suite under ``--cache``, the crash-recovery
+    smoke suite under ``--chaos``, and the run-ledger smoke suite
+    under ``--ledger``."""
     from .selfcheck import (
         render_cache_smoke,
         render_chaos_smoke,
         render_fault_smoke,
+        render_ledger_smoke,
         render_obs_smoke,
         render_parallel_smoke,
         render_selfcheck,
         run_cache_smoke,
         run_chaos_smoke,
         run_fault_smoke,
+        run_ledger_smoke,
         run_obs_smoke,
         run_parallel_smoke,
         run_selfcheck,
@@ -240,6 +262,8 @@ def _run_selfcheck_target(
         parts.append(render_cache_smoke(run_cache_smoke()))
     if chaos_smoke:
         parts.append(render_chaos_smoke(run_chaos_smoke()))
+    if ledger_smoke:
+        parts.append(render_ledger_smoke(run_ledger_smoke()))
     return "\n".join(parts)
 
 
@@ -314,6 +338,12 @@ def main(argv: list[str] | None = None) -> int:
         from .bench import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "runs":
+        # cross-run analytics over the ledger (0 ok / 2 usage error /
+        # 3 significant regression from `runs diff`)
+        from .runs_cli import runs_main
+
+        return runs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="doe-microbench",
         description="Regenerate the tables and figures of the SC-W'23 DOE "
@@ -419,14 +449,31 @@ def main(argv: list[str] | None = None) -> int:
              "ephemeral port, printed to stderr); stdout is unchanged",
     )
     parser.add_argument(
-        "--progress", action="store_true",
+        "--progress", nargs="?", const="auto", default=None,
+        choices=("auto", "force"), metavar="MODE",
         help="tick a one-line cells-done/ETA progress report on stderr "
-             "(TTY only, at most once per second); stdout is unchanged",
+             "(TTY only, at most once per second); --progress=force (or "
+             "REPRO_FORCE_PROGRESS=1) ticks even when stderr is piped; "
+             "stdout is unchanged",
     )
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress all stderr reports (resilience, profile, file "
              "notices); stdout is unchanged",
+    )
+    parser.add_argument(
+        "--no-ledger", dest="ledger_record", action="store_false",
+        default=True,
+        help="do not record this run in the persistent run ledger",
+    )
+    parser.add_argument(
+        "--ledger-dir", type=str, default="", metavar="DIR",
+        help="run-ledger root (default: $REPRO_LEDGER_DIR or .repro/runs)",
+    )
+    parser.add_argument(
+        "--ledger", action="store_true",
+        help="run the run-ledger smoke suite (record/list/diff/gc) under "
+             "the selfcheck target",
     )
     args = parser.parse_args(argv)
     if args.status_port is not None and not 0 <= args.status_port <= 65535:
@@ -470,8 +517,13 @@ def main(argv: list[str] | None = None) -> int:
     # live telemetry is opt-in exactly like observability: with none of
     # the three flags armed the shared null session is active and the
     # run's stdout/artifacts are byte-identical (DESIGN.md 5h)
+    force_progress = (
+        args.progress == "force"
+        or os.environ.get("REPRO_FORCE_PROGRESS", "") not in ("", "0")
+    )
+    progress_wanted = args.progress is not None or force_progress
     tel_wanted = bool(
-        args.events_out or args.status_port is not None or args.progress
+        args.events_out or args.status_port is not None or progress_wanted
     )
     session = live.NULL_TELEMETRY
     status_server = None
@@ -482,8 +534,8 @@ def main(argv: list[str] | None = None) -> int:
         session = live.RunTelemetry(
             events=EventLog(args.events_out) if args.events_out else None,
             progress=(
-                live.ProgressReporter(None)
-                if args.progress and not args.quiet else None
+                live.ProgressReporter(None, force=force_progress)
+                if progress_wanted and not args.quiet else None
             ),
         )
         session.aggregator.profiler_supplier = (
@@ -506,37 +558,71 @@ def main(argv: list[str] | None = None) -> int:
 
     text = ""
     wrote_bundle = False
+    started_at = time.time()
+    run_outcome = "ok"
     try:
         with obs_runtime.observability(ctx), live.telemetry(session):
-            for target in targets:
-                if target == "artifacts":
-                    from .artifacts import write_artifacts
+            try:
+                for target in targets:
+                    if target == "artifacts":
+                        from .artifacts import write_artifacts
 
-                    directory = args.output or "artifacts"
-                    written = write_artifacts(directory, study)
-                    wrote_bundle = True
-                    print(
-                        f"==> artifacts ({len(written)} files under "
-                        f"{directory})"
+                        directory = args.output or "artifacts"
+                        written = write_artifacts(directory, study)
+                        wrote_bundle = True
+                        print(
+                            f"==> artifacts ({len(written)} files under "
+                            f"{directory})"
+                        )
+                        continue
+                    text = run_target(
+                        target, study,
+                        obs_smoke=args.obs == "smoke",
+                        parallel_smoke=args.parallel,
+                        cache_smoke=cache,
+                        chaos_smoke=args.chaos,
+                        ledger_smoke=args.ledger,
                     )
-                    continue
-                text = run_target(
-                    target, study,
-                    obs_smoke=args.obs == "smoke",
-                    parallel_smoke=args.parallel,
-                    cache_smoke=cache,
-                    chaos_smoke=args.chaos,
-                )
-                print(f"==> {target}")
-                print(text)
-                print()
-            session.run_end()
+                    print(f"==> {target}")
+                    print(text)
+                    print()
+            except KeyboardInterrupt:
+                run_outcome = "interrupted"
+                raise
+            except BaseException:
+                run_outcome = "error"
+                raise
     finally:
-        # every exit path — clean end, a raising cell, Ctrl-C — releases
-        # the status port and seals the event log
+        # every exit path — clean end, a raising cell, Ctrl-C — seals
+        # the event stream (run_end is idempotent and records *how* the
+        # run ended), releases the status port, closes the log, and
+        # records the run in the ledger
+        session.run_end(outcome=run_outcome)
         if status_server is not None:
             status_server.stop()
         session.close()
+        if args.ledger_record:
+            from ..obs.ledger import record_study_run
+
+            entry = record_study_run(
+                study,
+                targets=targets,
+                directory=args.ledger_dir or None,
+                started=started_at,
+                outcome=run_outcome,
+                exit_code=(
+                    (EXIT_DEGRADED if study.resilience.degraded_count else 0)
+                    if run_outcome == "ok" else None
+                ),
+                events=session.events,
+                obs=ctx if ctx.enabled else None,
+            )
+            if entry is not None:
+                _stderr_report(
+                    f"ledger: recorded run {entry.run_id} under "
+                    f"{entry.directory}",
+                    args.quiet,
+                )
     if args.events_out and session.events is not None:
         stats = session.events.stats()
         _stderr_report(

@@ -884,3 +884,174 @@ def render_parallel_smoke(findings: list[Finding]) -> str:
             f"(jobs knob, serial-vs-parallel digest, scheduler stats)"
         )
     return "\n".join(str(f) for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# run-ledger smoke checks: ``python -m repro selfcheck --ledger``
+# ---------------------------------------------------------------------------
+
+def check_ledger_roundtrip() -> list[Finding]:
+    """Record two study runs, list them back, diff a run against itself
+    (all-zeros), and prune history down to one entry."""
+    import tempfile
+
+    from ..core.study import Study, StudyConfig
+    from ..core.tables import build_table4
+    from ..machines.registry import get_machine
+    from ..obs.analyze import BenchRun, compare_runs
+    from ..obs.ledger import RunLedger, record_study_run
+
+    out = []
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger = RunLedger(tmp)
+
+        def record(started: float):
+            study = Study(StudyConfig(runs=2, seed=77))
+            build_table4(study, machines=[get_machine("sawtooth")])
+            # distinct started values: the run id is content-addressed,
+            # so identical records would collapse onto one id
+            return record_study_run(
+                study, targets=["table4"], ledger=ledger,
+                started=started, finished=started + 1.0,
+            )
+
+        first = record(1.0)
+        second = record(2.0)
+        if first is None or second is None:
+            return [Finding("-", "ledger", "recording returned None")]
+        records, skipped = ledger.read_index()
+        if len(records) != 2 or skipped:
+            out.append(Finding(
+                "-", "ledger",
+                f"expected 2 index records, 0 skipped; got "
+                f"{len(records)}, {skipped}",
+            ))
+        run = ledger.load(ledger.resolve("latest"))
+        if run.metrics is None or run.manifest is None:
+            out.append(Finding("-", "ledger",
+                               "loaded run is missing documents"))
+        else:
+            comparison = compare_runs(
+                BenchRun.from_json(run.metrics),
+                BenchRun.from_json(run.metrics),
+            )
+            if comparison.regressed or comparison.missing():
+                out.append(Finding("-", "ledger",
+                                   "diff-against-self found deltas"))
+            if any(r.verdict != "unchanged" for r in comparison.rows):
+                out.append(Finding("-", "ledger",
+                                   "diff-against-self rows not unchanged"))
+        removed = ledger.gc(keep=1)
+        kept, _skipped = ledger.read_index()
+        if len(removed) != 1 or len(kept) != 1:
+            out.append(Finding(
+                "-", "ledger",
+                f"gc(keep=1) removed {len(removed)}, kept {len(kept)}",
+            ))
+    return out
+
+
+def check_ledger_regression_gate() -> list[Finding]:
+    """An injected metric delta between two recorded runs must trip the
+    comparator — the property ``runs diff`` exits 3 on."""
+    import copy
+    import tempfile
+
+    from ..core.study import Study, StudyConfig
+    from ..core.tables import build_table4
+    from ..machines.registry import get_machine
+    from ..obs.analyze import BenchRun, compare_runs
+    from ..obs.ledger import RunLedger, record_study_run, study_metrics_doc
+
+    out = []
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger = RunLedger(tmp)
+        study = Study(StudyConfig(runs=2, seed=77))
+        build_table4(study, machines=[get_machine("sawtooth")])
+        baseline = record_study_run(
+            study, targets=["table4"], ledger=ledger,
+            started=1.0, finished=2.0,
+        )
+        worse = copy.deepcopy(study_metrics_doc(study))
+        metrics = worse["targets"]["study"]["metrics"]
+        victim = next(
+            k for k in sorted(metrics)
+            if k.startswith("sim.") and metrics[k]["better"] == "lower"
+        )
+        metrics[victim]["mean"] *= 1.5
+        injected = ledger.record(
+            kind="cli", targets=["table4"], metrics=worse,
+            outcome={"outcome": "ok", "exit_code": 0, "started": 3.0},
+        )
+        if baseline is None or injected is None:
+            return [Finding("-", "ledger", "recording returned None")]
+        run_a = ledger.load(baseline.run_id)
+        run_b = ledger.load(injected.run_id)
+        comparison = compare_runs(
+            BenchRun.from_json(run_a.metrics),
+            BenchRun.from_json(run_b.metrics),
+        )
+        if not comparison.regressed:
+            out.append(Finding(
+                "-", "ledger",
+                f"1.5x delta on {victim} did not register as a regression",
+            ))
+    return out
+
+
+def check_ledger_torn_index() -> list[Finding]:
+    """A torn index tail must be skipped on read and sealed by the next
+    append — the checkpoint journal's crash discipline."""
+    import tempfile
+
+    from ..obs.ledger import RunLedger
+
+    out = []
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger = RunLedger(tmp)
+        ledger.record(kind="cli", targets=["a"],
+                      outcome={"outcome": "ok", "started": 1.0})
+        with open(ledger.index_path, "a") as fh:
+            fh.write('{"schema": "repro.ledger/v1", "run_id": "torn')
+        records, skipped = ledger.read_index()
+        if len(records) != 1 or skipped != 1:
+            out.append(Finding(
+                "-", "ledger",
+                f"torn tail: expected 1 record + 1 skipped, got "
+                f"{len(records)} + {skipped}",
+            ))
+        ledger.record(kind="cli", targets=["b"],
+                      outcome={"outcome": "ok", "started": 2.0})
+        records, skipped = ledger.read_index()
+        if len(records) != 2 or skipped != 1:
+            out.append(Finding(
+                "-", "ledger",
+                f"sealed append: expected 2 records + 1 skipped, got "
+                f"{len(records)} + {skipped}",
+            ))
+    return out
+
+
+LEDGER_CHECKS = (
+    check_ledger_roundtrip,
+    check_ledger_regression_gate,
+    check_ledger_torn_index,
+)
+
+
+def run_ledger_smoke() -> list[Finding]:
+    """Exercise the run ledger end to end; empty list = healthy."""
+    findings: list[Finding] = []
+    for check in LEDGER_CHECKS:
+        findings.extend(check())
+    return findings
+
+
+def render_ledger_smoke(findings: list[Finding]) -> str:
+    if not findings:
+        return (
+            f"ledger smoke passed: {len(LEDGER_CHECKS)} check families "
+            f"(record/list/diff/gc roundtrip, injected-regression gate, "
+            f"torn-index recovery)"
+        )
+    return "\n".join(str(f) for f in findings)

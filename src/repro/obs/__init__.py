@@ -26,6 +26,11 @@ stderr progress ticker; the run manifest (:mod:`repro.obs.manifest`)
 records the session's provenance in the artifact bundle.  The two
 chains are deliberately independent — telemetry never re-keys the cell
 cache and never touches stdout.
+
+The persistent *run ledger* (:mod:`repro.obs.ledger`, DESIGN.md §5i)
+sits one level above both: every CLI/bench invocation records its
+manifest, metrics, outcome and attribution under a content-addressed
+run id, making runs comparable across time via ``repro runs``.
 """
 
 from .events import (
@@ -43,6 +48,17 @@ from .export import (
     text_summary,
     write_chrome_trace,
     write_metrics,
+)
+from .ledger import (
+    LEDGER_SCHEMA,
+    LedgerEntry,
+    LedgerRun,
+    RunLedger,
+    default_ledger_dir,
+    record_bench_run,
+    record_study_run,
+    study_metrics_doc,
+    study_outcome_doc,
 )
 from .live import (
     NULL_TELEMETRY,
@@ -134,4 +150,13 @@ __all__ = [
     "build_manifest",
     "render_manifest",
     "write_manifest",
+    "LEDGER_SCHEMA",
+    "LedgerEntry",
+    "LedgerRun",
+    "RunLedger",
+    "default_ledger_dir",
+    "study_metrics_doc",
+    "study_outcome_doc",
+    "record_study_run",
+    "record_bench_run",
 ]

@@ -8,7 +8,9 @@ Three pieces close the loop the exporters open:
   attribution of each benchmark cell window, plus the span-vs-counter
   cross-check;
 * :mod:`repro.obs.analyze.baseline` — the ``BENCH_*.json`` baseline
-  store and its Welch-tested comparator (the ``repro bench`` gate).
+  store and its Welch-tested comparator (the ``repro bench`` gate);
+* :mod:`repro.obs.analyze.flamegraph` — text icicle rendering of the
+  attribution (the ``repro runs flame`` drill-down).
 """
 
 from .baseline import (
@@ -32,9 +34,11 @@ from .critical_path import (
     SPAN_COUNTER_MAP,
     attribute_cells,
     attribute_window,
+    attributions_from_tracer,
     cross_check_counters,
     phase_of,
 )
+from .flamegraph import render_flame
 from .reader import ReadInstant, ReadSpan, TraceDocument
 from .report import render_attribution, render_comparison, render_run
 
@@ -49,7 +53,9 @@ __all__ = [
     "phase_of",
     "attribute_window",
     "attribute_cells",
+    "attributions_from_tracer",
     "cross_check_counters",
+    "render_flame",
     "BENCH_SCHEMA",
     "DEFAULT_THRESHOLD",
     "DEFAULT_ALPHA",

@@ -119,6 +119,24 @@ class PhaseAttribution:
             },
         }
 
+    def to_detailed_json(self) -> dict:
+        """:meth:`to_json` plus per-span microseconds within each phase
+        (``spans_us``) — the drill-down level the run ledger persists so
+        ``repro runs flame`` can break a phase open after the fact.
+        Overhead gaps carry no span name and fold into ``(uncovered)``.
+        """
+        spans: dict[str, dict[str, float]] = {}
+        for seg in self.segments:
+            per = spans.setdefault(seg.phase, {})
+            name = seg.span if seg.span is not None else "(uncovered)"
+            per[name] = per.get(name, 0.0) + seg.duration * 1e6
+        doc = self.to_json()
+        doc["spans_us"] = {
+            phase: dict(sorted(per.items()))
+            for phase, per in sorted(spans.items())
+        }
+        return doc
+
 
 def _sim_phase_spans(spans: Iterable[Any]) -> list[Any]:
     out = []
@@ -202,6 +220,32 @@ def attribute_cells(
             spans, window.sim_begin, window.sim_end, cell=window.name
         ))
     return out
+
+
+def attributions_from_tracer(tracer) -> list[PhaseAttribution]:
+    """Attribute every benchmark cell window recorded by a live tracer.
+
+    Bridges the live :class:`~repro.obs.span.SpanTracer` to the
+    file-oriented attribution path: finished simulated-time spans become
+    :class:`~repro.obs.analyze.reader.ReadSpan` records and run through
+    :func:`attribute_cells` — the exact pipeline ``analyze`` applies to
+    a trace read back from disk, so live and post-hoc attribution can
+    never disagree.
+    """
+    from .reader import ReadSpan
+
+    spans = [
+        ReadSpan(
+            name=r.name,
+            category=r.category,
+            timeline="sim",
+            begin=r.sim_begin,
+            end=r.sim_end,
+        )
+        for r in tracer.span_records()
+        if r.sim_begin is not None
+    ]
+    return attribute_cells(spans)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,90 @@
+"""Text flamegraph (icicle) rendering of critical-path attribution.
+
+A :class:`~repro.obs.analyze.critical_path.PhaseAttribution` already
+answers *where the latency went* as numbers; this module renders those
+numbers as the width-proportional bar chart people reach for when they
+say "flamegraph" — one frame row per phase, sorted widest-first, with
+an optional per-span drill-down level underneath each phase (the data
+:meth:`PhaseAttribution.to_detailed_json` persists into the run
+ledger).  Because the exclusive timeline is one level deep by
+construction, an icicle of it is exact, not sampled: bar widths sum to
+the cell total to within rounding.
+
+Input is duck-typed: live ``PhaseAttribution`` objects or the plain
+dicts read back from a ledger's ``attribution.json`` both render, so
+``repro runs flame`` needs no re-simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+_BAR_FULL = "█"   # █
+_BAR_EMPTY = "·"  # ·
+
+
+def bar(share: float, width: int) -> str:
+    """A ``width``-character bar filled proportionally to ``share``.
+
+    Any non-zero share renders at least one full cell, so a 0.1 % phase
+    is visible rather than rounding to an empty bar.
+    """
+    share = min(max(share, 0.0), 1.0)
+    filled = int(round(share * width))
+    if share > 0.0 and filled == 0:
+        filled = 1
+    return _BAR_FULL * filled + _BAR_EMPTY * (width - filled)
+
+
+def _as_doc(attribution: Any) -> dict:
+    if isinstance(attribution, dict):
+        return attribution
+    return attribution.to_detailed_json()
+
+
+def render_flame(
+    attributions: Iterable[Any],
+    *,
+    width: int = 32,
+    cell: Optional[str] = None,
+    drill: bool = False,
+) -> str:
+    """Render attributions as a text icicle, one block per cell window.
+
+    ``cell`` filters windows by substring match on the cell name;
+    ``drill`` adds the per-span rows under each phase when the
+    attribution carries ``spans_us`` (detailed docs do, plain
+    ``to_json`` output does not).
+    """
+    docs = [_as_doc(a) for a in attributions]
+    if cell is not None:
+        matched = [d for d in docs if cell in d.get("cell", "")]
+        if docs and not matched:
+            return f"no cell window matches {cell!r}\n"
+        docs = matched
+    if not docs:
+        return "no benchmark cell windows recorded\n"
+    blocks: list[str] = []
+    for doc in docs:
+        total = float(doc.get("total_us", 0.0))
+        lines = [f"{doc.get('cell', '?')}  total {total:.3f} us"]
+        phases = doc.get("phases_us", {})
+        spans = doc.get("spans_us", {}) if drill else {}
+        for phase, us in sorted(phases.items(), key=lambda kv: (-kv[1], kv[0])):
+            share = us / total if total > 0 else 0.0
+            lines.append(
+                f"  {bar(share, width)} {share * 100:5.1f}%  "
+                f"{phase:<12} {us:.3f} us"
+            )
+            per = spans.get(phase, {})
+            for name, sus in sorted(per.items(), key=lambda kv: (-kv[1], kv[0])):
+                sshare = sus / total if total > 0 else 0.0
+                lines.append(
+                    f"    {bar(sshare, width)} {sshare * 100:5.1f}%  "
+                    f"{name:<20} {sus:.3f} us"
+                )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+__all__ = ["bar", "render_flame"]

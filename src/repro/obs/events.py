@@ -15,7 +15,9 @@ stable schema tag (``repro.events/v1``):
 
 * ``run_start`` / ``run_end`` — one pair per CLI invocation, carrying
   the targets, jobs count and seed (start) and the final cell tallies
-  (end);
+  plus an ``outcome`` attr (``ok`` / ``error`` / ``interrupted``) on
+  the end event, which the CLI emits from a ``finally`` block so even a
+  raising or Ctrl-C'd run closes its event stream;
 * ``cell_start`` / ``cell_done`` / ``cell_degraded`` — one ``start``
   per dispatch *attempt* of a cell and exactly one terminal event per
   cell, so ``count(cell_start) >= count(cell_done) + count(cell_degraded)``
@@ -204,12 +206,23 @@ def check_invariants(events: list[dict]) -> list[str]:
     * starts never undercount terminals (a terminal without any start
       can only come from a replayed/cached cell, which emits no
       ``cell_start`` — those are excluded via their ``source`` attr);
-    * sequence numbers are strictly increasing.
+    * sequence numbers are strictly increasing;
+    * every ``run_start`` is paired with a ``run_end`` — since the CLI
+      emits ``run_end`` from a ``finally`` block (with ``outcome:
+      error|interrupted`` on abnormal exits), an unpaired start means a
+      truncated stream (the run was SIGKILLed or the log torn).
     """
     findings: list[str] = []
     seqs = [e["seq"] for e in events]
     if any(b <= a for a, b in zip(seqs, seqs[1:])):
         findings.append("sequence numbers are not strictly increasing")
+    run_starts = sum(1 for e in events if e["kind"] == "run_start")
+    run_ends = sum(1 for e in events if e["kind"] == "run_end")
+    if run_starts != run_ends:
+        findings.append(
+            f"{run_starts} run_start event(s) but {run_ends} "
+            f"run_end event(s)"
+        )
     starts: dict[str, int] = {}
     terminals: dict[str, int] = {}
     for event in events:

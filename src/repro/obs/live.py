@@ -195,8 +195,10 @@ class ProgressReporter:
 
     Updates at most once per ``min_interval`` seconds and only when
     stderr is a TTY — CI logs must not fill with carriage-returned
-    ticker frames.  The final frame (on ``finish``) always renders and
-    is sealed with a newline.
+    ticker frames.  ``--progress=force`` (or ``REPRO_FORCE_PROGRESS=1``)
+    sets ``force``, which skips the TTY gate for CI systems that *do*
+    want the ticker in captured logs.  The final frame (on ``finish``)
+    always renders and is sealed with a newline.
     """
 
     def __init__(
@@ -204,10 +206,12 @@ class ProgressReporter:
         aggregator: LiveAggregator,
         min_interval: float = 1.0,
         stream=None,
+        force: bool = False,
     ) -> None:
         self.aggregator = aggregator
         self.min_interval = min_interval
         self._stream = stream
+        self.force = force
         self._last = 0.0
         self._wrote_any = False
 
@@ -216,6 +220,8 @@ class ProgressReporter:
         return self._stream if self._stream is not None else sys.stderr
 
     def _enabled(self) -> bool:
+        if self.force:
+            return True
         try:
             return bool(self.stream.isatty())
         except (AttributeError, ValueError):
@@ -276,6 +282,9 @@ class RunTelemetry:
         self.progress = progress or None
         if self.progress is not None and self.progress.aggregator is None:
             self.progress.aggregator = self.aggregator
+        #: latched by the first ``run_end`` so the CLI can call it again
+        #: from its ``finally`` block without double-emitting
+        self._ended = False
 
     # -- lifecycle ---------------------------------------------------------
     def run_start(self, targets, jobs: int, seed: Optional[int]) -> None:
@@ -285,12 +294,19 @@ class RunTelemetry:
                 "run_start", targets=list(targets), jobs=jobs, seed=seed
             )
 
-    def run_end(self) -> None:
+    def run_end(self, outcome: str = "ok") -> None:
+        """Close the run (idempotent — the CLI calls this from a
+        ``finally`` block, so an exception or Ctrl-C still seals the
+        event stream, with ``outcome`` recording *how* it ended)."""
+        if self._ended:
+            return
+        self._ended = True
         self.aggregator.run_ended()
         if self.events is not None:
             snapshot = self.aggregator.snapshot()
             self.events.emit(
                 "run_end",
+                outcome=outcome,
                 cells=snapshot["cells"]["total"],
                 completed=snapshot["cells"]["completed"],
                 degraded=snapshot["cells"]["degraded"],
@@ -377,7 +393,7 @@ class NullRunTelemetry:
     def run_start(self, targets, jobs, seed) -> None:
         pass
 
-    def run_end(self) -> None:
+    def run_end(self, outcome: str = "ok") -> None:
         pass
 
     def close(self) -> None:

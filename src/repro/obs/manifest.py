@@ -7,8 +7,9 @@ module writes that record.  A manifest names everything needed to audit
 
 * the **config fingerprint**: the sha256 of the same canonical config
   text the cell cache keys on (:func:`repro.core.cellcache.cell_key`'s
-  per-field walk), so two manifests with equal fingerprints are
-  guaranteed to describe byte-identical studies;
+  per-field walk, execution-only knobs excluded), so two manifests with
+  equal fingerprints are guaranteed to describe byte-identical studies
+  — whether they ran serial or parallel, cache-cold or cache-warm;
 * the **seed root** and the stateless derivation rule (cells derive
   from ``(seed, cell path)``; DESIGN.md 5e);
 * **versions**: code version and Python interpreter;
@@ -45,15 +46,20 @@ MANIFEST_SCHEMA = "repro.manifest/v1"
 def config_fingerprint(config: "StudyConfig") -> str:
     """sha256 over the canonical per-field config text.
 
-    Walks every :class:`StudyConfig` field (execution knobs included —
-    a manifest documents *how* the run executed, unlike the cache key,
-    which deliberately drops byte-neutral knobs).
+    Walks every :class:`StudyConfig` field *except* the execution-only
+    knobs the cell cache also drops (jobs, cache, checkpoint, timeouts
+    — byte-neutral by the determinism contract), so the same study
+    fingerprints identically at ``--jobs 1`` and ``--jobs 4``, cold or
+    warm cache.  This is the cross-run identity the run ledger's
+    ``runs diff`` keys on; *how* the run executed is documented by the
+    manifest's explicit config fields instead.
     """
-    from ..core.cellcache import _fingerprint
+    from ..core.cellcache import _EXECUTION_FIELDS, _fingerprint
 
     parts = [
         f"{spec.name}={_fingerprint(getattr(config, spec.name))}"
         for spec in dataclasses.fields(config)
+        if spec.name not in _EXECUTION_FIELDS
     ]
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.study import Study, StudyConfig
@@ -11,6 +13,19 @@ from repro.machines.registry import (
     get_machine,
     gpu_machines,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_ledger(tmp_path_factory):
+    """Point default-on run recording at a tmpdir for the whole session,
+    so CLI tests never grow a ``.repro/`` directory in the checkout."""
+    prev = os.environ.get("REPRO_LEDGER_DIR")
+    os.environ["REPRO_LEDGER_DIR"] = str(tmp_path_factory.mktemp("ledger"))
+    yield
+    if prev is None:
+        os.environ.pop("REPRO_LEDGER_DIR", None)
+    else:
+        os.environ["REPRO_LEDGER_DIR"] = prev
 
 
 @pytest.fixture(scope="session")

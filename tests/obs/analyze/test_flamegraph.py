@@ -1,0 +1,115 @@
+"""Flamegraph rendering: bars, drill-down, filtering, detailed JSON."""
+
+import pytest
+
+from repro.obs.analyze.critical_path import (
+    PhaseAttribution,
+    Segment,
+    attribute_window,
+)
+from repro.obs.analyze.flamegraph import bar, render_flame
+
+pytestmark = pytest.mark.ledger
+
+
+def _attribution():
+    return PhaseAttribution(
+        cell="osu.latency", begin=0.0, end=10e-6,
+        segments=[
+            Segment(0.0, 6e-6, "eager", "send.eager"),
+            Segment(6e-6, 8e-6, "link", "xfer:nic"),
+            Segment(8e-6, 9e-6, "link", "xfer:nic"),
+            Segment(9e-6, 10e-6, "overhead", None),
+        ],
+    )
+
+
+class TestDetailedJson:
+    def test_spans_sum_to_phase_totals(self):
+        doc = _attribution().to_detailed_json()
+        assert doc["cell"] == "osu.latency"
+        for phase, per in doc["spans_us"].items():
+            assert sum(per.values()) == pytest.approx(
+                doc["phases_us"][phase]
+            )
+
+    def test_overhead_gap_folds_into_uncovered(self):
+        doc = _attribution().to_detailed_json()
+        assert doc["spans_us"]["overhead"] == {
+            "(uncovered)": pytest.approx(1.0)
+        }
+
+    def test_same_span_segments_merge(self):
+        doc = _attribution().to_detailed_json()
+        assert doc["spans_us"]["link"] == {"xfer:nic": pytest.approx(3.0)}
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(1.0, 4) == "████"
+        assert bar(0.0, 4) == "····"
+
+    def test_tiny_share_still_visible(self):
+        assert bar(0.001, 8).count("█") == 1
+
+    def test_out_of_range_clamps(self):
+        assert bar(2.0, 4) == "████"
+        assert bar(-1.0, 4) == "····"
+
+
+class TestRenderFlame:
+    def test_renders_phases_widest_first(self):
+        text = render_flame([_attribution()])
+        lines = text.splitlines()
+        assert lines[0].startswith("osu.latency  total 10.000 us")
+        phase_order = [
+            line.split()[-3] for line in lines[1:]
+        ]
+        assert phase_order == ["eager", "link", "overhead"]
+
+    def test_accepts_ledger_dicts(self):
+        doc = _attribution().to_detailed_json()
+        assert render_flame([doc]) == render_flame([_attribution()])
+
+    def test_drill_adds_span_rows(self):
+        flat = render_flame([_attribution()])
+        drilled = render_flame([_attribution()], drill=True)
+        assert "send.eager" not in flat
+        assert "send.eager" in drilled
+        assert "(uncovered)" in drilled
+
+    def test_cell_filter_and_miss_message(self):
+        text = render_flame([_attribution()], cell="osu")
+        assert "osu.latency" in text
+        assert render_flame([_attribution()], cell="nope") == (
+            "no cell window matches 'nope'\n"
+        )
+
+    def test_empty_input_message(self):
+        assert render_flame([]) == "no benchmark cell windows recorded\n"
+
+    def test_shares_sum_to_hundred_percent(self):
+        text = render_flame([_attribution()], width=20)
+        shares = [
+            float(line.split("%")[0].split()[-1])
+            for line in text.splitlines() if "%" in line
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.2)
+
+
+class TestPipelineIntegration:
+    def test_attribute_window_output_renders(self):
+        class FakeSpan:
+            def __init__(self, name, category, begin, end):
+                self.name = name
+                self.category = category
+                self.sim_begin = begin
+                self.sim_end = end
+
+        spans = [
+            FakeSpan("cell", "benchmarks", 0.0, 4e-6),
+            FakeSpan("send.eager", "mpisim", 0.0, 3e-6),
+        ]
+        attribution = attribute_window(spans, 0.0, 4e-6, cell="cell")
+        text = render_flame([attribution], drill=True)
+        assert "eager" in text and "overhead" in text

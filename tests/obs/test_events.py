@@ -223,3 +223,39 @@ class TestInvariantChecker:
             "worker_crash", "pool_rebuild", "cache_hit",
             "checkpoint_replay", "run_end",
         }
+
+
+class TestRunEndOutcome:
+    pytestmark = [pytest.mark.live, pytest.mark.ledger]
+
+    def test_run_end_carries_ok_outcome(self, tmp_path):
+        _run_study(tmp_path / "ev.jsonl")
+        events, _ = read_events(tmp_path / "ev.jsonl")
+        assert events[-1]["kind"] == "run_end"
+        assert events[-1]["attrs"]["outcome"] == "ok"
+
+    def test_run_end_is_idempotent(self, tmp_path):
+        session = live.RunTelemetry(events=EventLog(tmp_path / "ev.jsonl"))
+        session.run_start(["table4"], 1, 11)
+        session.run_end(outcome="error")
+        session.run_end()  # the finally-block call: must not double-emit
+        session.close()
+        events, _ = read_events(tmp_path / "ev.jsonl")
+        kinds = _kinds(events)
+        assert kinds["run_end"] == 1
+        # first call wins: the outcome it recorded is the one that sticks
+        assert events[-1]["attrs"]["outcome"] == "error"
+
+    def test_unpaired_run_start_is_flagged(self):
+        events = [{"schema": EVENT_SCHEMA, "seq": 0, "ts": 0.0,
+                   "kind": "run_start", "attrs": {}}]
+        assert any("1 run_start event(s) but 0 run_end" in f
+                   for f in check_invariants(events))
+
+    def test_cell_only_stream_passes_pairing_check(self):
+        # 0 starts / 0 ends is balanced: the pairing check must stay
+        # silent on event slices that never saw the run lifecycle
+        events = [{"schema": EVENT_SCHEMA, "seq": 0, "ts": 0.0,
+                   "kind": "cell_done", "attrs": {"cell": "a",
+                                                  "source": "cache"}}]
+        assert check_invariants(events) == []

@@ -165,6 +165,24 @@ class TestProgressReporter:
         assert stream.getvalue() == first
         assert first.count("\r") == 1
 
+    def test_force_bypasses_the_tty_gate(self):
+        # --progress=force / REPRO_FORCE_PROGRESS=1: ticker writes to a
+        # piped (non-TTY) stream that the default gate would silence
+        stream = io.StringIO()
+        reporter = ProgressReporter(self._agg(), stream=stream, force=True)
+        reporter.tick(force=True)
+        reporter.finish()
+        out = stream.getvalue()
+        assert "cells 17/52" in out
+        assert out.endswith("\n")
+
+    def test_without_force_non_tty_stays_silent(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(self._agg(), stream=stream, force=False)
+        reporter.tick(force=True)
+        reporter.finish()
+        assert stream.getvalue() == ""
+
 
 class TestRunTelemetrySession:
     def test_null_session_is_the_default_and_inert(self):
