@@ -1,0 +1,103 @@
+"""The committed reference suite: the paper's headline values.
+
+Every cell of Tables 4-6 becomes one :class:`CheckSpec` whose
+reference is the paper's ``mean ± std`` (n = 100 runs) and whose band
+is the repo's standing sim-vs-paper agreement target: the acceptance
+tests pin the worst relative error below 5%, so the committed gate
+allows ``±8%`` — tight enough to catch a real model drift, loose
+enough that seed-to-seed noise cannot flake CI.
+
+``python -m repro check`` evaluates this suite by default, and the
+golden tests resolve every path here against a real run so no
+reference can dangle.
+"""
+
+from __future__ import annotations
+
+from ..harness.paper_values import PAPER_TABLE4, PAPER_TABLE5, PAPER_TABLE6
+from .spec import CheckSpec, CheckSuite, Reference, StatPolicy
+
+__all__ = ["PAPER_TOLERANCE", "paper_suite"]
+
+#: relative band half-width around every paper value (see module doc)
+PAPER_TOLERANCE = 0.08
+
+#: n the paper used for its mean/std columns
+_PAPER_RUNS = 100
+
+_UNITS = {
+    "single": "GB/s", "all": "GB/s", "device_bw": "GB/s", "hd_bw": "GB/s",
+    "on_socket": "us", "on_node": "us", "host": "us",
+    "launch": "us", "wait": "us", "hd_lat": "us", "d2d": "us",
+}
+
+
+def _ref(mean: float, std: float, unit: str,
+         tolerance: float) -> Reference:
+    return Reference(
+        value=mean, lower=-tolerance, upper=tolerance, unit=unit,
+        std=std, n=_PAPER_RUNS,
+    )
+
+
+def _cell_checks(table: str, machine: str, cells: dict,
+                 tolerance: float) -> list[CheckSpec]:
+    specs = []
+    slug = machine.lower()
+    for cell, value in cells.items():
+        unit = _UNITS[cell]
+        if cell == "d2d":
+            for cls, (mean, std) in value.items():
+                path = f"{table}.{slug}.d2d.{cls.value}"
+                specs.append(CheckSpec(
+                    name=path,
+                    path=path,
+                    reference=_ref(mean, std, unit, tolerance),
+                ))
+            continue
+        mean, std = value
+        path = f"{table}.{slug}.{cell}"
+        specs.append(CheckSpec(
+            name=path,
+            path=path,
+            reference=_ref(mean, std, unit, tolerance),
+        ))
+    return specs
+
+
+def paper_suite(
+    tables: tuple[str, ...] = ("table4", "table5", "table6"),
+    tolerance: float = PAPER_TOLERANCE,
+    policy: StatPolicy | None = None,
+) -> CheckSuite:
+    """The paper-reference suite, optionally restricted to some tables."""
+    data = {
+        "table4": PAPER_TABLE4,
+        "table5": PAPER_TABLE5,
+        "table6": PAPER_TABLE6,
+    }
+    checks: list[CheckSpec] = []
+    for table in tables:
+        if table not in data:
+            raise ValueError(
+                f"unknown table {table!r} (want table4/5/6)"
+            )
+        for machine, cells in data[table].items():
+            checks.extend(_cell_checks(table, machine, cells, tolerance))
+    if policy is not None:
+        checks = [
+            CheckSpec(
+                name=c.name, path=c.path, reference=c.reference,
+                policy=policy, better=c.better,
+            )
+            for c in checks
+        ]
+    return CheckSuite(
+        name="paper-refs",
+        description=(
+            "Headline values of Tables 4-6 from the paper, "
+            f"±{tolerance:.0%} with the published std over "
+            f"{_PAPER_RUNS} runs"
+        ),
+        checks=tuple(checks),
+    )

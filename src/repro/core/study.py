@@ -399,11 +399,11 @@ class Study:
 
     @staticmethod
     def _metric_row(name: str, stat: Statistic) -> dict:
-        higher = "babelstream" in name or "bandwidth" in name \
-            or name.endswith("/hdbw")
+        from ..analysis.metrics import better_direction
+
         return {
             "mean": stat.mean, "std": stat.std, "n": stat.n, "unit": "",
-            "better": "higher" if higher else "lower", "gate": True,
+            "better": better_direction(name), "gate": True,
         }
 
     # ------------------------------------------------------------------

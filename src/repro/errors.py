@@ -131,3 +131,11 @@ class LedgerError(ReproError, ValueError):
     ambiguous run id, empty ledger, unwritable index rewrite).  Write
     paths of the ledger itself never raise — recording degrades to a
     warning — so this surfaces only from the ``repro runs`` CLI."""
+
+
+class CheckSpecError(ReproError, ValueError):
+    """A ``repro.checks/v1`` check-spec document is malformed: bad
+    schema tag, unknown keys, out-of-range thresholds or policy knobs,
+    duplicate check names, or an unparseable TOML/JSON spec file.
+    Raised at load/validation time, never during evaluation —
+    evaluation degrades failing extractions to skip-with-reason."""

@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..analysis.metrics import better_direction
 from ..core.resilience import Degraded
 from ..core.results import Statistic
 from ..errors import ReproError, SimulationError
@@ -334,21 +335,27 @@ def run_bench(
             stat = Statistic.from_samples(values)
             record.metrics[name] = MetricStat(
                 mean=stat.mean, std=stat.std, n=stat.n, unit="us",
-                better="lower", gate=True,
+                better=better_direction(name), gate=True,
             )
-        record.metrics["wall_seconds"] = _advisory(walls, "s", "lower")
+        record.metrics["wall_seconds"] = _advisory(
+            walls, "s", better_direction("wall_seconds")
+        )
         if events_rates:
             record.metrics["events_per_sec"] = _advisory(
-                events_rates, "1/s", "higher"
+                events_rates, "1/s", better_direction("events_per_sec")
             )
         for name, values in advisory_samples.items():
+            # units stay name-derived; the goodness direction comes from
+            # the one shared inference rule
             if name.startswith("supervisor."):
-                unit, better = "count", "lower"
+                unit = "count"
             elif "wall" in name:
-                unit, better = "s", "lower"
+                unit = "s"
             else:
-                unit, better = "workers", "higher"
-            record.metrics[name] = _advisory(values, unit, better)
+                unit = "workers"
+            record.metrics[name] = _advisory(
+                values, unit, better_direction(name)
+            )
         record.attribution = [
             a.to_json() for a in attributions[:_MAX_ATTRIBUTIONS]
         ]

@@ -30,6 +30,9 @@ Usage::
     python -m repro runs flame latest --cell table6   # attribution icicle
     python -m repro table4 --no-ledger   # opt out of run recording
     python -m repro selfcheck --ledger   # run-ledger smoke suite
+    python -m repro check                # paper-reference regression checks
+    python -m repro check --spec my.toml --adaptive  # custom declarative suite
+    python -m repro selfcheck --checks   # check-subsystem smoke suite
 
 Under ``--faults <profile>`` individual benchmark cells may be killed by
 injected node failures; after bounded retries they are rendered as the
@@ -168,6 +171,7 @@ def run_target(
     cache_smoke: bool = False,
     chaos_smoke: bool = False,
     ledger_smoke: bool = False,
+    checks_smoke: bool = False,
 ) -> str:
     """Produce the output text for one CLI target."""
     if target == "table1":
@@ -214,7 +218,7 @@ def run_target(
         return _run_selfcheck_target(
             study, obs_smoke=obs_smoke, parallel_smoke=parallel_smoke,
             cache_smoke=cache_smoke, chaos_smoke=chaos_smoke,
-            ledger_smoke=ledger_smoke,
+            ledger_smoke=ledger_smoke, checks_smoke=checks_smoke,
         )
     raise ValueError(f"unknown target: {target}")
 
@@ -226,17 +230,20 @@ def _run_selfcheck_target(
     cache_smoke: bool = False,
     chaos_smoke: bool = False,
     ledger_smoke: bool = False,
+    checks_smoke: bool = False,
 ) -> str:
     """``selfcheck``: structural checks, plus the fault smoke suite
     whenever a fault plan is armed (``--faults smoke`` in CI), the
     observability smoke suite under ``--obs smoke``, the
     parallel-equivalence smoke suite under ``--parallel``, the
     cell-cache smoke suite under ``--cache``, the crash-recovery
-    smoke suite under ``--chaos``, and the run-ledger smoke suite
-    under ``--ledger``."""
+    smoke suite under ``--chaos``, the run-ledger smoke suite
+    under ``--ledger``, and the regression-check smoke suite under
+    ``--checks``."""
     from .selfcheck import (
         render_cache_smoke,
         render_chaos_smoke,
+        render_checks_smoke,
         render_fault_smoke,
         render_ledger_smoke,
         render_obs_smoke,
@@ -244,6 +251,7 @@ def _run_selfcheck_target(
         render_selfcheck,
         run_cache_smoke,
         run_chaos_smoke,
+        run_checks_smoke,
         run_fault_smoke,
         run_ledger_smoke,
         run_obs_smoke,
@@ -264,6 +272,8 @@ def _run_selfcheck_target(
         parts.append(render_chaos_smoke(run_chaos_smoke()))
     if ledger_smoke:
         parts.append(render_ledger_smoke(run_ledger_smoke()))
+    if checks_smoke:
+        parts.append(render_checks_smoke(run_checks_smoke()))
     return "\n".join(parts)
 
 
@@ -344,6 +354,15 @@ def main(argv: list[str] | None = None) -> int:
         from .runs_cli import runs_main
 
         return runs_main(argv[1:])
+    if argv and argv[0] == "check":
+        # declarative regression checks (0 ok / 3 regression /
+        # 4 inflated).  The `check` *target* inside run_target keeps
+        # its legacy meaning (selfcheck alias) for the "all" expansion
+        # and programmatic callers; the CLI word now means the
+        # repro.checks evaluator.
+        from .check_cli import check_main
+
+        return check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="doe-microbench",
         description="Regenerate the tables and figures of the SC-W'23 DOE "
@@ -475,6 +494,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the run-ledger smoke suite (record/list/diff/gc) under "
              "the selfcheck target",
     )
+    parser.add_argument(
+        "--checks", action="store_true",
+        help="run the regression-check smoke suite (spec roundtrip, "
+             "injected-regression exit, adaptive stopping) under the "
+             "selfcheck target",
+    )
     args = parser.parse_args(argv)
     if args.status_port is not None and not 0 <= args.status_port <= 65535:
         parser.error(
@@ -582,6 +607,7 @@ def main(argv: list[str] | None = None) -> int:
                         cache_smoke=cache,
                         chaos_smoke=args.chaos,
                         ledger_smoke=args.ledger,
+                        checks_smoke=args.checks,
                     )
                     print(f"==> {target}")
                     print(text)

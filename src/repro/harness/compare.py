@@ -154,3 +154,37 @@ def worst_relative_error(rows: list[ComparisonRow]) -> ComparisonRow:
     if not rows:
         raise ValueError("no comparison rows")
     return max(rows, key=lambda r: r.rel_error)
+
+
+def gate_comparison(rows: list[ComparisonRow], tolerance: float = 0.05):
+    """Judge every comparison row through the shared checks evaluator.
+
+    Each non-degraded row becomes one interval check — the paper mean
+    with a ``±tolerance`` relative band — evaluated by
+    :func:`repro.checks.evaluate.evaluate`, so the sim-vs-paper gate
+    uses the exact same threshold semantics as ``repro check``, the
+    bench baseline and ``selfcheck --checks``.  Degraded rows are
+    excluded the same way the error statistics exclude them.  Returns
+    the :class:`~repro.checks.evaluate.CheckReport`.
+    """
+    from ..checks.evaluate import evaluate
+    from ..checks.extract import MetricsSource
+    from ..checks.spec import CheckSpec, CheckSuite, Reference
+
+    specs = []
+    metrics: dict[str, dict] = {}
+    for row in rows:
+        if row.degraded:
+            continue
+        name = f"{row.table}/{row.machine}/{row.metric}"
+        metrics[name] = {"mean": row.measured_mean, "std": 0.0, "n": 1}
+        specs.append(CheckSpec(
+            name=name,
+            path=f"metrics:{name}",
+            reference=Reference(
+                row.paper_mean, -tolerance, tolerance,
+                row.metric.split()[-1],
+            ),
+        ))
+    suite = CheckSuite(name="paper-compare", checks=tuple(specs))
+    return evaluate(suite, MetricsSource(metrics))

@@ -1,7 +1,7 @@
 """Release self-check: validate the whole model zoo in one pass.
 
-``python -m repro check`` runs every structural invariant that does not
-need a study: node validation, topology classification coverage,
+``python -m repro selfcheck`` runs every structural invariant that does
+not need a study: node validation, topology classification coverage,
 calibration sanity (efficiencies below 1, latencies positive, paper
 anomalies flagged where documented), fabric coverage, kernel
 correctness, and registry completeness.  Returns a list of findings;
@@ -1053,5 +1053,192 @@ def render_ledger_smoke(findings: list[Finding]) -> str:
             f"ledger smoke passed: {len(LEDGER_CHECKS)} check families "
             f"(record/list/diff/gc roundtrip, injected-regression gate, "
             f"torn-index recovery)"
+        )
+    return "\n".join(str(f) for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# regression-check smoke suite (``selfcheck --checks``)
+# ---------------------------------------------------------------------------
+
+def check_spec_roundtrip() -> list[Finding]:
+    """A suite survives dict round-trip and bad specs are rejected."""
+    from ..checks.spec import (
+        CheckSpec,
+        CheckSuite,
+        Reference,
+        StatPolicy,
+        suite_from_dict,
+    )
+    from ..errors import CheckSpecError
+
+    out: list[Finding] = []
+    suite = CheckSuite(
+        name="smoke",
+        checks=(
+            CheckSpec(
+                name="latency",
+                path="metrics:sim.latency",
+                reference=Reference(5.67, None, 0.05, "us"),
+                policy=StatPolicy(mode="welch", alpha=0.05),
+            ),
+            CheckSpec(
+                name="bandwidth",
+                path="metrics:sim.bandwidth",
+                reference=Reference(100.0, -0.1, 0.1, "GB/s"),
+                better="higher",
+            ),
+        ),
+    )
+    back = suite_from_dict(suite.to_dict())
+    if back != suite:
+        out.append(Finding("-", "checks",
+                           "suite did not survive dict round-trip"))
+    if back.checks[0].reference.to_tuple() != (5.67, None, 0.05, "us"):
+        out.append(Finding("-", "checks",
+                           "reference tuple lost in round-trip"))
+    for bad, why in (
+        ({"schema": "repro.checks/v2", "checks": []}, "bad schema"),
+        ({"schema": "repro.checks/v1", "checks": []}, "empty suite"),
+        ({"schema": "repro.checks/v1",
+          "checks": [{"name": "x", "path": "p",
+                      "reference": {"value": 1.0, "upper": -0.1}}]},
+         "negative upper threshold"),
+    ):
+        try:
+            suite_from_dict(bad)
+        except CheckSpecError:
+            continue
+        out.append(Finding("-", "checks", f"{why} was not rejected"))
+    return out
+
+
+def check_injected_regression() -> list[Finding]:
+    """An out-of-band observation must gate with the regression exit."""
+    from ..checks.evaluate import (
+        EXIT_INFLATED,
+        EXIT_OK,
+        EXIT_REGRESSION,
+        evaluate,
+    )
+    from ..checks.extract import MetricsSource
+    from ..checks.spec import CheckSpec, CheckSuite, Reference
+
+    out: list[Finding] = []
+
+    def suite_for(value: float) -> CheckSuite:
+        return CheckSuite(
+            name="smoke-gate",
+            checks=(CheckSpec(
+                name="lat",
+                path="metrics:sim.latency",
+                reference=Reference(value, -0.05, 0.05, "us"),
+            ),),
+        )
+
+    def source_for(mean: float) -> MetricsSource:
+        return MetricsSource({
+            "sim.latency": {"mean": mean, "std": 0.01, "n": 5,
+                            "better": "lower", "gate": True},
+        })
+
+    # observed 2.0 vs reference 1.0 (+-5%): slower latency = regression
+    report = evaluate(suite_for(1.0), source_for(2.0))
+    if report.exit_code != EXIT_REGRESSION:
+        out.append(Finding("-", "checks",
+                           f"injected regression exited "
+                           f"{report.exit_code}, want {EXIT_REGRESSION}"))
+    # observed 0.5: suspiciously *better* than the band = inflated
+    report = evaluate(suite_for(1.0), source_for(0.5))
+    if report.exit_code != EXIT_INFLATED:
+        out.append(Finding("-", "checks",
+                           f"inflated observation exited "
+                           f"{report.exit_code}, want {EXIT_INFLATED}"))
+    # in-band observation passes clean
+    report = evaluate(suite_for(1.0), source_for(1.02))
+    if report.exit_code != EXIT_OK:
+        out.append(Finding("-", "checks",
+                           f"in-band observation exited "
+                           f"{report.exit_code}, want {EXIT_OK}"))
+    # a dangling path must skip with a reason, never gate or crash
+    report = evaluate(CheckSuite(
+        name="smoke-skip",
+        checks=(CheckSpec(
+            name="missing", path="metrics:sim.nope",
+            reference=Reference(1.0, -0.05, 0.05),
+        ),),
+    ), source_for(1.0))
+    if report.exit_code != EXIT_OK or not report.skipped:
+        out.append(Finding("-", "checks",
+                           "missing metric did not skip cleanly"))
+    elif not report.skipped[0].reason:
+        out.append(Finding("-", "checks", "skip carries no reason"))
+    return out
+
+
+def check_adaptive_stopping() -> list[Finding]:
+    """Adaptive sampling stops early on low variance, caps on high."""
+    from ..checks.evaluate import adaptive_observe
+    from ..checks.extract import CallableSource
+    from ..checks.spec import CheckSpec, Reference, StatPolicy
+
+    out: list[Finding] = []
+    calls: list[int] = []
+
+    def quiet_sampler(path: str, n: int) -> list[float]:
+        calls.append(n)
+        return [5.0 + 1e-9 * i for i in range(n)]
+
+    spec = CheckSpec(
+        name="quiet", path="cell",
+        reference=Reference(5.0, -0.1, 0.1),
+        policy=StatPolicy(min_repeats=3, max_repeats=64, ci_rel=0.05),
+    )
+    obs, repeats = adaptive_observe(CallableSource(quiet_sampler), spec)
+    if repeats != 3:
+        out.append(Finding("-", "checks",
+                           f"low-variance cell took {repeats} repeats, "
+                           f"want min_repeats=3"))
+    if calls != [3]:
+        out.append(Finding("-", "checks",
+                           f"low-variance cell sampled {calls}, want [3]"))
+
+    def noisy_sampler(path: str, n: int) -> list[float]:
+        # +-50% swings: the CI target is unreachable, so the loop must
+        # cap at max_repeats instead of spinning
+        return [5.0 * (1 + (-0.5 if i % 2 else 0.5)) for i in range(n)]
+
+    obs, repeats = adaptive_observe(CallableSource(noisy_sampler), spec)
+    if repeats != spec.policy.max_repeats:
+        out.append(Finding("-", "checks",
+                           f"noisy cell stopped at {repeats} repeats, "
+                           f"want max_repeats={spec.policy.max_repeats}"))
+    if obs.n > spec.policy.max_repeats:
+        out.append(Finding("-", "checks",
+                           f"noisy cell exceeded max_repeats ({obs.n})"))
+    return out
+
+
+CHECKS_CHECKS = (
+    check_spec_roundtrip,
+    check_injected_regression,
+    check_adaptive_stopping,
+)
+
+
+def run_checks_smoke() -> list[Finding]:
+    """Exercise the regression-check subsystem; empty list = healthy."""
+    findings: list[Finding] = []
+    for check in CHECKS_CHECKS:
+        findings.extend(check())
+    return findings
+
+
+def render_checks_smoke(findings: list[Finding]) -> str:
+    if not findings:
+        return (
+            f"checks smoke passed: {len(CHECKS_CHECKS)} check families "
+            f"(spec roundtrip, injected-regression gate, "
+            f"adaptive stopping)"
         )
     return "\n".join(str(f) for f in findings)

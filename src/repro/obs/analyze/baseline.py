@@ -17,7 +17,10 @@ counts as changed when the delta is *both* statistically defensible
 practically large (relative error above a threshold,
 :func:`repro.analysis.metrics.relative_error`).  Deterministic metrics
 (zero variance on both sides) degenerate cleanly: any relative error
-above the threshold is a certain change.
+above the threshold is a certain change.  The verdict itself is
+computed by the one shared comparator,
+:func:`repro.checks.evaluate.classify_delta` — ``bench --baseline``,
+``runs diff`` and the declarative check suites all gate through it.
 """
 
 from __future__ import annotations
@@ -27,7 +30,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ...errors import BenchDataError
-from ...analysis.metrics import relative_error, welch_t_test
 
 BENCH_SCHEMA = "repro.bench/v1"
 
@@ -237,24 +239,23 @@ def compare_metric(
     threshold: float = DEFAULT_THRESHOLD,
     alpha: float = DEFAULT_ALPHA,
 ) -> MetricComparison:
-    """Classify one metric: both tests must agree before a change counts."""
-    rel = relative_error(current.mean, baseline.mean)
-    welch = welch_t_test(
+    """Classify one metric: both tests must agree before a change counts.
+
+    Delegates to the shared :func:`repro.checks.evaluate.classify_delta`
+    comparator so the bench gate, ``runs diff`` and declarative check
+    suites cannot drift apart.
+    """
+    from ...checks.evaluate import classify_delta
+
+    delta = classify_delta(
         baseline.mean, baseline.std, baseline.n,
         current.mean, current.std, current.n,
+        better=baseline.better, threshold=threshold, alpha=alpha,
     )
-    verdict = "unchanged"
-    if rel > threshold and welch.significant(alpha):
-        worse = (
-            current.mean > baseline.mean
-            if baseline.better == "lower"
-            else current.mean < baseline.mean
-        )
-        verdict = "regressed" if worse else "improved"
     return MetricComparison(
-        target=target, metric=metric, verdict=verdict,
+        target=target, metric=metric, verdict=delta.verdict,
         baseline=baseline, current=current,
-        rel_change=rel, p_value=welch.p_value,
+        rel_change=delta.rel_change, p_value=delta.p_value,
         gate=baseline.gate and current.gate,
     )
 

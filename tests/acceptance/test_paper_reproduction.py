@@ -197,9 +197,15 @@ class TestSection4CommScopeClaims:
 
 class TestQuantitativeAgreement:
     def test_every_cell_within_5_percent(self, t4, t5, t6):
+        from repro.harness.compare import gate_comparison
+
         rows = compare_table4(t4) + compare_table5(t5) + compare_table6(t6)
-        bad = [r for r in rows if r.rel_error > 0.05]
-        assert not bad, [f"{r.machine}/{r.metric}: {r.rel_error:.1%}" for r in bad]
+        report = gate_comparison(rows, tolerance=0.05)
+        assert report.exit_code == 0, [
+            f"{r.name}: {r.failure_kind} ({r.reason or r.observed})"
+            for r in report.failed
+        ]
+        assert len(report.results) == len(rows)
 
     def test_table7_ranges_overlap_paper(self, t7):
         """Measured family ranges must overlap the published ranges."""

@@ -145,3 +145,178 @@ class TestWelch:
             welch_t_test(0.0, 1.0, 0, 0.0, 1.0, 5)
         with pytest.raises(ValueError):
             welch_t_test(0.0, -1.0, 5, 0.0, 1.0, 5)
+
+
+class TestBetterDirection:
+    """Token-level pins live in tests/checks/test_directions.py; this
+    covers the inference rule itself."""
+
+    def test_bandwidth_signals(self):
+        from repro.analysis.metrics import better_direction
+
+        assert better_direction("sim.Eagle/babelstream-cpu/single") == "higher"
+        assert better_direction("table5.frontier.device_bw") == "higher"
+        assert better_direction("anything GB/s") == "higher"
+        assert better_direction("nic_bw") == "higher"
+
+    def test_latency_default(self):
+        from repro.analysis.metrics import better_direction
+
+        assert better_direction("sim.latency_us") == "lower"
+        assert better_direction("") == "lower"
+        assert better_direction("table6.frontier.launch") == "lower"
+
+    def test_token_not_substring(self):
+        from repro.analysis.metrics import better_direction
+
+        # 'alltoall' contains 'all' but is not the 'all' token
+        assert better_direction("osu.alltoall") == "lower"
+        # 'ballpark' contains 'bw'? no - contains 'all'? not as token
+        assert better_direction("ballpark_metric") == "lower"
+
+
+class TestStudentTQuantile:
+    def test_inverts_the_sf(self):
+        from repro.analysis.metrics import (
+            student_t_quantile_two_sided,
+        )
+
+        for alpha in (0.2, 0.05, 0.01):
+            for df in (1, 4, 30):
+                t = student_t_quantile_two_sided(alpha, df)
+                assert student_t_sf_two_sided(t, df) == pytest.approx(
+                    alpha, rel=1e-6
+                )
+
+    def test_known_value(self):
+        from repro.analysis.metrics import student_t_quantile_two_sided
+
+        # t*(0.05, 9) = 2.262 (classic table value)
+        assert student_t_quantile_two_sided(0.05, 9) == pytest.approx(
+            2.262, abs=1e-3
+        )
+
+    def test_rejects_bad_inputs(self):
+        from repro.analysis.metrics import student_t_quantile_two_sided
+
+        with pytest.raises(ValueError):
+            student_t_quantile_two_sided(0.0, 5)
+        with pytest.raises(ValueError):
+            student_t_quantile_two_sided(0.05, 0)
+
+
+class TestCIHalfWidth:
+    def test_matches_formula(self):
+        from repro.analysis.metrics import (
+            ci_half_width,
+            student_t_quantile_two_sided,
+        )
+
+        hw = ci_half_width(2.0, 16, alpha=0.05)
+        assert hw == pytest.approx(
+            student_t_quantile_two_sided(0.05, 15) * 2.0 / 4.0
+        )
+
+    def test_degenerate_cases_converge(self):
+        from repro.analysis.metrics import ci_half_width
+
+        assert ci_half_width(0.0, 50) == 0.0
+        assert ci_half_width(1.0, 1) == 0.0
+
+    def test_shrinks_with_n(self):
+        from repro.analysis.metrics import ci_half_width
+
+        widths = [ci_half_width(1.0, n) for n in (3, 6, 12, 24)]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_rejects_bad_inputs(self):
+        from repro.analysis.metrics import ci_half_width
+
+        with pytest.raises(ValueError):
+            ci_half_width(1.0, 0)
+        with pytest.raises(ValueError):
+            ci_half_width(-1.0, 5)
+
+
+class TestMannWhitney:
+    def test_clear_shift_is_significant(self):
+        from repro.analysis.metrics import mann_whitney_u
+
+        xs = [10.0 + 0.1 * i for i in range(12)]
+        ys = [20.0 + 0.1 * i for i in range(12)]
+        result = mann_whitney_u(xs, ys)
+        assert result.significant(0.01)
+        assert result.p_value < 1e-4
+
+    def test_identical_samples_not_significant(self):
+        from repro.analysis.metrics import mann_whitney_u
+
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert not mann_whitney_u(xs, list(xs)).significant(0.05)
+
+    def test_all_tied_degenerate(self):
+        from repro.analysis.metrics import mann_whitney_u
+
+        result = mann_whitney_u([3.0] * 6, [3.0] * 6)
+        assert result.p_value == 1.0
+        assert result.z == 0.0
+
+    def test_tie_midranks_symmetry(self):
+        from repro.analysis.metrics import mann_whitney_u
+
+        # swapping the samples flips the z sign, same p
+        a, b = [1.0, 2.0, 2.0, 3.0], [2.0, 3.0, 3.0, 4.0]
+        fwd, rev = mann_whitney_u(a, b), mann_whitney_u(b, a)
+        assert fwd.p_value == pytest.approx(rev.p_value)
+        assert fwd.z == pytest.approx(-rev.z)
+
+    def test_empty_sample_rejected(self):
+        from repro.analysis.metrics import mann_whitney_u
+
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+
+class TestBootstrapCI:
+    def test_seeded_determinism(self):
+        from repro.analysis.metrics import bootstrap_mean_ci
+
+        samples = [1.0, 1.2, 0.9, 1.1, 1.05, 0.95]
+        a = bootstrap_mean_ci(samples, seed=7)
+        b = bootstrap_mean_ci(samples, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_different_seed_different_draws(self):
+        from repro.analysis.metrics import bootstrap_mean_ci
+
+        samples = [1.0, 1.2, 0.9, 1.1, 1.05, 0.95]
+        a = bootstrap_mean_ci(samples, seed=1)
+        b = bootstrap_mean_ci(samples, seed=2)
+        assert (a.low, a.high) != (b.low, b.high)
+
+    def test_interval_brackets_the_mean(self):
+        from repro.analysis.metrics import bootstrap_mean_ci
+
+        samples = [10.0, 11.0, 9.5, 10.5, 10.2, 9.8, 10.1, 9.9]
+        ci = bootstrap_mean_ci(samples, resamples=500, seed=3)
+        mean = sum(samples) / len(samples)
+        assert ci.low <= mean <= ci.high
+        assert ci.half_width == pytest.approx((ci.high - ci.low) / 2)
+
+    def test_degenerate_collapses_to_point(self):
+        from repro.analysis.metrics import bootstrap_mean_ci
+
+        ci = bootstrap_mean_ci([4.2], seed=0)
+        assert ci.low == ci.high == 4.2
+        ci = bootstrap_mean_ci([1.0, 1.0, 1.0], seed=0)
+        assert ci.low == ci.high == 1.0
+
+    def test_rejects_bad_inputs(self):
+        from repro.analysis.metrics import bootstrap_mean_ci
+
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], alpha=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], resamples=0)

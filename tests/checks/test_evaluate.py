@@ -1,0 +1,333 @@
+"""Tests for the check evaluator: boundaries, modes, exit discipline."""
+
+import math
+
+import pytest
+
+from repro.checks.evaluate import (
+    EXIT_INFLATED,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    adaptive_observe,
+    classify_delta,
+    evaluate,
+)
+from repro.checks.extract import CallableSource, MetricsSource
+from repro.checks.report import render_report, render_report_json
+from repro.checks.spec import CheckSpec, CheckSuite, Reference, StatPolicy
+
+pytestmark = pytest.mark.checks
+
+
+def one_check_suite(reference, policy=None, better=None,
+                    path="metrics:sim.lat", name="lat"):
+    return CheckSuite(
+        name="t",
+        checks=(CheckSpec(
+            name=name, path=path, reference=reference,
+            policy=policy or StatPolicy(), better=better,
+        ),),
+    )
+
+
+def metric_source(mean, std=0.0, n=1, name="sim.lat"):
+    return MetricsSource({name: {"mean": mean, "std": std, "n": n}})
+
+
+class TestIntervalBoundaries:
+    def test_exactly_at_threshold_passes(self):
+        suite = one_check_suite(Reference(100.0, -0.1, 0.05))
+        assert evaluate(suite, metric_source(90.0)).exit_code == EXIT_OK
+        assert evaluate(suite, metric_source(105.0)).exit_code == EXIT_OK
+
+    def test_just_past_threshold_fails(self):
+        suite = one_check_suite(Reference(100.0, -0.1, 0.05))
+        report = evaluate(suite, metric_source(105.0001))
+        assert report.failed and report.exit_code == EXIT_REGRESSION
+
+    def test_one_sided_none_bounds(self):
+        no_lower = one_check_suite(Reference(10.0, None, 0.05))
+        assert evaluate(no_lower, metric_source(0.001)).exit_code == EXIT_OK
+        assert evaluate(no_lower, metric_source(10.6)).failed
+        no_upper = one_check_suite(Reference(10.0, -0.05, None))
+        assert evaluate(no_upper, metric_source(1e9)).exit_code == EXIT_OK
+        report = evaluate(no_upper, metric_source(9.0))
+        assert report.failed
+
+    def test_failure_side_maps_to_exit_code(self):
+        # latency (lower-better): above band = regression, below = inflated
+        suite = one_check_suite(Reference(10.0, -0.05, 0.05))
+        assert evaluate(suite, metric_source(11.0)).exit_code \
+            == EXIT_REGRESSION
+        assert evaluate(suite, metric_source(9.0)).exit_code == EXIT_INFLATED
+        # bandwidth (higher-better): below band = regression
+        bw = one_check_suite(Reference(100.0, -0.05, 0.05), better="higher")
+        assert evaluate(bw, metric_source(90.0)).exit_code == EXIT_REGRESSION
+        assert evaluate(bw, metric_source(110.0)).exit_code == EXIT_INFLATED
+
+    def test_regression_outranks_inflated(self):
+        suite = CheckSuite(name="t", checks=(
+            CheckSpec("a", "metrics:a", Reference(10.0, -0.05, 0.05)),
+            CheckSpec("b", "metrics:b", Reference(10.0, -0.05, 0.05)),
+        ))
+        source = MetricsSource({"a": {"mean": 11.0}, "b": {"mean": 9.0}})
+        assert evaluate(suite, source).exit_code == EXIT_REGRESSION
+
+
+class TestSkips:
+    def test_nan_observation_skips_with_reason(self):
+        suite = one_check_suite(Reference(10.0, -0.05, 0.05))
+        report = evaluate(suite, metric_source(float("nan")))
+        assert report.exit_code == EXIT_OK
+        (result,) = report.skipped
+        assert "non-finite" in result.reason
+
+    def test_missing_path_skips_with_reason(self):
+        suite = one_check_suite(Reference(10.0, -0.05, 0.05),
+                                path="metrics:sim.nope")
+        report = evaluate(suite, metric_source(1.0))
+        (result,) = report.skipped
+        assert result.status == "skip" and "no metric" in result.reason
+
+    def test_skips_never_crash_rendering(self):
+        suite = one_check_suite(Reference(10.0, -0.05, 0.05),
+                                path="metrics:sim.nope")
+        report = evaluate(suite, metric_source(1.0))
+        assert "skip" in render_report(report)
+        assert "skip" in render_report_json(report)
+
+
+class TestZeroVariance:
+    def test_zero_variance_in_band_passes(self):
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05, std=0.0, n=100),
+            policy=StatPolicy(mode="welch"),
+        )
+        report = evaluate(suite, metric_source(10.0, std=0.0, n=5))
+        assert report.exit_code == EXIT_OK
+
+    def test_zero_variance_out_of_band_fails_certainly(self):
+        # both sides deterministic: Welch degenerates to p=0
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05, std=0.0, n=100),
+            policy=StatPolicy(mode="welch"),
+        )
+        report = evaluate(suite, metric_source(11.0, std=0.0, n=5))
+        assert report.exit_code == EXIT_REGRESSION
+
+
+class TestWelchMode:
+    def test_out_of_band_but_noisy_passes(self):
+        # the observed mean leaves the band, but the dispersion is so
+        # wide the t-test cannot call it: not a regression
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05, std=3.0, n=5),
+            policy=StatPolicy(mode="welch", alpha=0.01),
+        )
+        report = evaluate(suite, metric_source(11.0, std=3.0, n=5))
+        assert report.exit_code == EXIT_OK
+        assert "not significant" in report.results[0].reason
+
+    def test_out_of_band_and_significant_fails(self):
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05, std=0.01, n=50),
+            policy=StatPolicy(mode="welch", alpha=0.01),
+        )
+        report = evaluate(suite, metric_source(11.0, std=0.01, n=50))
+        assert report.exit_code == EXIT_REGRESSION
+
+    def test_missing_dispersion_falls_back_to_interval(self):
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05),  # no std on the reference
+            policy=StatPolicy(mode="welch"),
+        )
+        report = evaluate(suite, metric_source(11.0, std=0.01, n=50))
+        assert report.exit_code == EXIT_REGRESSION
+        assert "welch unavailable" in report.results[0].reason
+
+
+class TestNonparametricModes:
+    def test_mannwhitney_needs_samples(self):
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05),
+            policy=StatPolicy(mode="mannwhitney"),
+        )
+        report = evaluate(suite, metric_source(11.0, std=0.1, n=5))
+        (result,) = report.skipped
+        assert "raw samples" in result.reason
+
+    def test_mannwhitney_consistent_shift_fails(self):
+        samples = [11.0, 11.1, 10.9, 11.2, 11.05, 10.95]
+        src = CallableSource(lambda p, n: samples, default_n=len(samples))
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05, std=0.1, n=100),
+            policy=StatPolicy(mode="mannwhitney", alpha=0.05),
+            path="cell",
+        )
+        report = evaluate(suite, src)
+        assert report.exit_code == EXIT_REGRESSION
+
+    def test_bootstrap_straddling_ci_passes(self):
+        # mean is out of band but the CI overlaps it: noise, not a call
+        samples = [9.0, 12.0, 10.0, 11.5, 8.5, 12.5]
+        src = CallableSource(lambda p, n: samples, default_n=len(samples))
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05),
+            policy=StatPolicy(mode="bootstrap", alpha=0.05),
+            path="cell",
+        )
+        report = evaluate(suite, src)
+        assert report.exit_code == EXIT_OK
+
+    def test_bootstrap_clear_shift_fails(self):
+        samples = [12.0, 12.1, 11.9, 12.2, 12.05, 11.95]
+        src = CallableSource(lambda p, n: samples, default_n=len(samples))
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05),
+            policy=StatPolicy(mode="bootstrap", alpha=0.05),
+            path="cell",
+        )
+        report = evaluate(suite, src)
+        assert report.exit_code == EXIT_REGRESSION
+
+    def test_bootstrap_is_seeded_deterministic(self):
+        samples = [9.0, 12.0, 10.0, 11.5, 8.5, 12.5]
+        src = CallableSource(lambda p, n: samples, default_n=len(samples))
+        suite = one_check_suite(
+            Reference(10.0, -0.05, 0.05),
+            policy=StatPolicy(mode="bootstrap", alpha=0.05),
+            path="cell",
+        )
+        first = render_report_json(evaluate(suite, src))
+        second = render_report_json(evaluate(suite, src))
+        assert first == second
+
+
+class TestAdaptive:
+    def policy(self, **kw):
+        defaults = dict(min_repeats=3, max_repeats=64, ci_rel=0.05)
+        defaults.update(kw)
+        return StatPolicy(**defaults)
+
+    def test_low_variance_stops_at_min_repeats(self):
+        calls = []
+
+        def sampler(path, n):
+            calls.append(n)
+            return [5.0] * n
+
+        spec = CheckSpec("c", "cell", Reference(5.0, -0.1, 0.1),
+                         policy=self.policy())
+        obs, repeats = adaptive_observe(CallableSource(sampler), spec)
+        assert repeats == 3 and calls == [3]
+
+    def test_noisy_cell_never_exceeds_max_repeats(self):
+        def sampler(path, n):
+            return [5.0 * (1 + (0.5 if i % 2 else -0.5)) for i in range(n)]
+
+        spec = CheckSpec("c", "cell", Reference(5.0, -0.1, 0.1),
+                         policy=self.policy(max_repeats=40))
+        obs, repeats = adaptive_observe(CallableSource(sampler), spec)
+        assert repeats == 40 and obs.n == 40
+
+    def test_escalation_doubles_until_target(self):
+        calls = []
+
+        def sampler(path, n):
+            calls.append(n)
+            # variance shrinks once enough repeats are taken
+            if n >= 12:
+                return [5.0 + 0.001 * i for i in range(n)]
+            return [5.0 * (1 + (0.4 if i % 2 else -0.4)) for i in range(n)]
+
+        spec = CheckSpec("c", "cell", Reference(5.0, -0.1, 0.1),
+                         policy=self.policy())
+        obs, repeats = adaptive_observe(CallableSource(sampler), spec)
+        assert calls == [3, 6, 12]
+        assert repeats == 12
+
+    def test_adaptive_repeats_reported(self):
+        src = CallableSource(lambda p, n: [5.0] * n)
+        suite = one_check_suite(Reference(5.0, -0.1, 0.1),
+                                policy=self.policy(), path="cell")
+        report = evaluate(suite, src, adaptive=True)
+        assert report.adaptive
+        assert report.results[0].repeats == 3
+        assert "adaptive: 3 repeats" in render_report(report)
+
+
+class TestJobsDeterminism:
+    def test_byte_identical_at_jobs_1_and_4(self, fast_check_source):
+        """The determinism property: evaluating a recorded study's
+        outputs renders byte-identically at any worker count."""
+        from repro.checks.paper_refs import paper_suite
+
+        suite = paper_suite()
+        serial = evaluate(suite, fast_check_source, jobs=1)
+        threaded = evaluate(suite, fast_check_source, jobs=4)
+        assert render_report(serial) == render_report(threaded)
+        assert render_report_json(serial) == render_report_json(threaded)
+
+
+class TestClassifyDelta:
+    def test_change_requires_both_tests(self):
+        # large but noisy: unchanged
+        noisy = classify_delta(10.0, 5.0, 3, 12.0, 5.0, 3)
+        assert noisy.verdict == "unchanged"
+        # significant but tiny: unchanged
+        tiny = classify_delta(10.0, 0.001, 50, 10.01, 0.001, 50)
+        assert tiny.verdict == "unchanged"
+        # large and significant: direction decides
+        up = classify_delta(10.0, 0.01, 50, 11.0, 0.01, 50)
+        assert up.verdict == "regressed"
+        down = classify_delta(10.0, 0.01, 50, 9.0, 0.01, 50)
+        assert down.verdict == "improved"
+        bw = classify_delta(10.0, 0.01, 50, 9.0, 0.01, 50, better="higher")
+        assert bw.verdict == "regressed"
+
+    def test_compare_metric_delegates_here(self):
+        """The bench comparator and classify_delta can never disagree."""
+        from repro.obs.analyze.baseline import MetricStat, compare_metric
+
+        base = MetricStat(mean=10.0, std=0.01, n=50, better="lower")
+        cur = MetricStat(mean=11.0, std=0.01, n=50, better="lower")
+        row = compare_metric("t", "m", base, cur)
+        delta = classify_delta(10.0, 0.01, 50, 11.0, 0.01, 50)
+        assert row.verdict == delta.verdict == "regressed"
+        assert row.rel_change == delta.rel_change
+        assert row.p_value == delta.p_value
+
+
+class TestComparisonGate:
+    def test_compare_rows_gate_through_evaluator(self, fast_study):
+        from repro.core.tables import build_table4
+        from repro.harness.compare import compare_table4, gate_comparison
+        from repro.machines.registry import cpu_machines
+
+        rows = compare_table4(build_table4(fast_study, cpu_machines()))
+        report = gate_comparison(rows, tolerance=0.05)
+        assert report.exit_code == EXIT_OK
+        assert len(report.results) == len(rows)
+
+    def test_gate_comparison_flags_out_of_band_row(self):
+        from repro.harness.compare import ComparisonRow, gate_comparison
+
+        rows = [
+            ComparisonRow("T4", "Eagle", "on-socket us", 0.17, 0.30),
+            ComparisonRow("T4", "Eagle", "single GB/s", 13.45, 13.50),
+        ]
+        report = gate_comparison(rows, tolerance=0.05)
+        assert report.exit_code == EXIT_REGRESSION
+        (fail,) = report.failed
+        assert fail.name == "T4/Eagle/on-socket us"
+        # direction came from the shared inference: GB/s is higher-better
+        assert report.results[1].direction == "higher"
+
+    def test_degraded_rows_excluded(self):
+        from repro.core.resilience import Degraded
+        from repro.harness.compare import ComparisonRow, gate_comparison
+
+        rows = [ComparisonRow("T4", "Eagle", "on-socket us", 0.17,
+                              Degraded("x", "fault", 1))]
+        report = gate_comparison(rows)
+        assert report.results == []

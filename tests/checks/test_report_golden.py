@@ -1,0 +1,99 @@
+"""Golden-file tests: the rendered report forms are pinned byte-for-byte.
+
+The report renderers feed CI logs and the ``--json`` machine interface;
+any drift in layout or key order is a breaking change for consumers, so
+the exact bytes for a fixed synthetic report live in ``goldens/``.
+Regenerate deliberately with::
+
+    PYTHONPATH=src python tests/checks/test_report_golden.py regen
+"""
+
+import pathlib
+
+import pytest
+
+from repro.checks.evaluate import evaluate
+from repro.checks.extract import MetricsSource
+from repro.checks.report import render_report, render_report_json
+from repro.checks.spec import CheckSpec, CheckSuite, Reference, StatPolicy
+
+pytestmark = pytest.mark.checks
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def golden_report():
+    """A fixed report exercising pass, both failure kinds, and a skip."""
+    suite = CheckSuite(
+        name="golden",
+        description="renderer pinning suite",
+        checks=(
+            CheckSpec(
+                name="osu-latency",
+                path="metrics:sim.latency",
+                reference=Reference(5.67, None, 0.05, "us"),
+            ),
+            CheckSpec(
+                name="stream-bw",
+                path="metrics:sim.bandwidth",
+                reference=Reference(100.0, -0.1, 0.1, "GB/s"),
+                better="higher",
+            ),
+            CheckSpec(
+                name="too-slow",
+                path="metrics:sim.slow",
+                reference=Reference(1.0, -0.05, 0.05, "us"),
+            ),
+            CheckSpec(
+                name="too-good",
+                path="metrics:sim.fast",
+                reference=Reference(1.0, -0.05, 0.05, "us"),
+            ),
+            CheckSpec(
+                name="dangling",
+                path="metrics:sim.nope",
+                reference=Reference(1.0, None, 0.05, "us"),
+                policy=StatPolicy(mode="welch", alpha=0.05),
+            ),
+        ),
+    )
+    source = MetricsSource({
+        "sim.latency": {"mean": 5.5, "std": 0.05, "n": 10, "unit": "us"},
+        "sim.bandwidth": {"mean": 98.0, "std": 1.0, "n": 10,
+                          "unit": "GB/s"},
+        "sim.slow": {"mean": 1.2, "std": 0.0, "n": 1, "unit": "us"},
+        "sim.fast": {"mean": 0.8, "std": 0.0, "n": 1, "unit": "us"},
+    })
+    return evaluate(suite, source)
+
+
+def rendered_forms():
+    report = golden_report()
+    return {
+        "report.txt": render_report(report) + "\n",
+        "report.json": render_report_json(report) + "\n",
+    }
+
+
+@pytest.mark.parametrize("name", ["report.txt", "report.json"])
+def test_rendered_form_matches_golden(name):
+    expected = (GOLDEN_DIR / name).read_text()
+    assert rendered_forms()[name] == expected
+
+
+def test_golden_report_covers_every_status():
+    report = golden_report()
+    assert len(report.passed) == 2
+    assert len(report.regressions) == 1
+    assert len(report.inflated) == 1
+    assert len(report.skipped) == 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for name, text in rendered_forms().items():
+            (GOLDEN_DIR / name).write_text(text)
+            print(f"wrote {GOLDEN_DIR / name}")

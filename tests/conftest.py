@@ -83,3 +83,13 @@ def fast_study():
 def paper_study():
     """The paper's full 100-run protocol (vectorised noise path)."""
     return Study(StudyConfig(runs=100))
+
+
+@pytest.fixture(scope="session")
+def fast_check_source(fast_study):
+    """A checks extractor source over the fast study: every table cell
+    plus the flattened ``metrics:sim.*`` rows (shared so the checks
+    suite builds the tables once per session)."""
+    from repro.checks import study_source
+
+    return study_source(fast_study, cpu_machines(), gpu_machines())
